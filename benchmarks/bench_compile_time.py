@@ -1,0 +1,30 @@
+"""Ablation A1 — the cost of Descend's static safety (type-checking time).
+
+The paper's claim is that safety costs nothing at runtime; this benchmark
+measures where the cost actually goes: the extended borrow checking performed
+at compile time, per benchmark program.
+"""
+
+import pytest
+
+from repro.descend.typeck import check_program
+from repro.descend_programs.matmul import build_matmul_program
+from repro.descend_programs.reduce import build_reduce_program
+from repro.descend_programs.scan import build_scan_program
+from repro.descend_programs.transpose import build_transpose_program
+from repro.descend_programs.vector import build_scale_program
+
+_PROGRAMS = {
+    "scale_vec": lambda: build_scale_program(n=1024, block_size=64),
+    "reduce": lambda: build_reduce_program(n=4096, block_size=64),
+    "transpose": lambda: build_transpose_program(n=64, tile=16, rows=4),
+    "scan": lambda: build_scan_program(n=2048, block_size=32, elems_per_thread=4),
+    "matmul": lambda: build_matmul_program(m=32, k=32, n=32, tile=8),
+}
+
+
+@pytest.mark.parametrize("name", sorted(_PROGRAMS))
+def test_typecheck_time(benchmark, name):
+    program = _PROGRAMS[name]()
+    checked = benchmark(check_program, program)
+    assert checked.fn_types

@@ -1,0 +1,24 @@
+"""Figure 8 — the "mean" bar: geometric mean of relative runtimes.
+
+Runs every benchmark at the small footprint and checks the headline result of
+the paper: Descend performs on par with handwritten CUDA (mean relative
+runtime ≈ 1, within a few percent).
+"""
+
+from repro.benchsuite.figure8 import run_figure8
+from repro.benchsuite.workloads import BENCHMARKS
+
+
+def test_figure8_mean(benchmark):
+    result_holder = {}
+
+    def run_once():
+        result_holder["result"] = run_figure8(benchmarks=BENCHMARKS, sizes=("small",))
+        return result_holder["result"]
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)
+    result = result_holder["result"]
+    benchmark.extra_info["geometric_mean_relative_runtime"] = result.geometric_mean
+    for row in result.rows:
+        benchmark.extra_info[f"{row.benchmark}_relative"] = row.relative
+    assert 0.95 < result.geometric_mean < 1.05

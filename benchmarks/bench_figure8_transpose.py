@@ -1,0 +1,11 @@
+"""Figure 8 — Transpose: relative runtime of Descend vs handwritten CUDA."""
+
+import pytest
+
+from figure8_utils import bench_sizes, run_figure8_cell
+
+
+@pytest.mark.parametrize("size", bench_sizes())
+def test_figure8_transpose(benchmark, size):
+    run = run_figure8_cell(benchmark, "transpose", size)
+    assert run.cuda.correct and run.descend.correct

@@ -1,0 +1,50 @@
+"""Shared helpers for the pytest-benchmark harness.
+
+Every benchmark regenerates one cell (or aggregate) of Figure 8 of the paper.
+The *simulated kernel cycles* are the quantity the paper reports (relative
+runtimes between handwritten CUDA and Descend); they are attached to each
+benchmark record as ``extra_info`` next to the wall-clock time of running the
+simulator itself.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.benchsuite.runner import run_benchmark_pair  # noqa: E402
+from repro.benchsuite.workloads import SIZES  # noqa: E402
+
+
+def bench_sizes():
+    """Sizes to benchmark (override with REPRO_BENCH_SIZES=small,medium)."""
+    env = os.environ.get("REPRO_BENCH_SIZES")
+    if not env:
+        return list(SIZES)
+    chosen = [size.strip() for size in env.split(",") if size.strip()]
+    return [size for size in chosen if size in SIZES] or list(SIZES)
+
+
+def run_figure8_cell(benchmark_fixture, bench_name: str, size: str):
+    """Run one Figure 8 cell under pytest-benchmark and record its metrics."""
+    result_holder = {}
+
+    def run_once():
+        result_holder["run"] = run_benchmark_pair(bench_name, size)
+        return result_holder["run"]
+
+    benchmark_fixture.pedantic(run_once, rounds=1, iterations=1)
+    run = result_holder["run"]
+    benchmark_fixture.extra_info["benchmark"] = bench_name
+    benchmark_fixture.extra_info["size"] = size
+    benchmark_fixture.extra_info["cuda_cycles"] = run.cuda.cycles
+    benchmark_fixture.extra_info["descend_cycles"] = run.descend.cycles
+    benchmark_fixture.extra_info["relative_runtime"] = run.relative_runtime
+    # The paper's claim: no significant overhead (within a few percent).
+    assert run.relative_runtime == pytest.approx(1.0, rel=0.10)
+    return run

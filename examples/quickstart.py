@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: compile and run a Descend program end to end.
+
+1. Write a Descend GPU function (surface syntax, as in the paper).
+2. Compile it: parsing + extended borrow checking.
+3. Look at the CUDA C++ the compiler generates.
+4. Execute it on the bundled GPU simulator and check the result.
+"""
+
+import numpy as np
+
+from repro.descend.compiler import compile_source
+from repro.gpusim import GpuDevice
+
+SOURCE = """
+// Scale a vector by 3.0: one GPU thread per element.
+fn scale_vec(vec: &uniq gpu.global [f64; 1024]) -[grid: gpu.grid<X<16>, X<64>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            vec.group::<64>[[block]][[thread]] =
+                vec.group::<64>[[block]][[thread]] * 3.0
+        }
+    }
+}
+"""
+
+
+def main() -> None:
+    print("=== 1. compile (parse + type check) ===")
+    compiled = compile_source(SOURCE, name="quickstart.descend")
+    print(f"functions: {', '.join(compiled.function_names)}")
+
+    print("\n=== 2. generated CUDA C++ ===")
+    print(compiled.to_cuda().kernel("scale_vec"))
+
+    print("=== 3. run on the GPU simulator ===")
+    device = GpuDevice()
+    data = np.arange(1024, dtype=np.float64)
+    buffer = device.to_device(data, label="vec")
+    launch = compiled.kernel("scale_vec").launch(device, {"vec": buffer})
+    result = device.to_host(buffer)
+
+    assert np.allclose(result, data * 3.0), "unexpected result!"
+    print(f"result correct: vec[:4] = {result[:4]}")
+    print(f"simulated kernel cost: {launch.cycles:.1f} cycles, "
+          f"{launch.cost.global_transactions} global-memory transactions, "
+          f"{len(launch.races)} data races detected")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""The static safety errors of Section 2, regenerated.
+
+Each program below is an ill-typed Descend program corresponding to one of
+the unsafe CUDA snippets of the paper (data race, misplaced barrier, swapped
+copy arguments, CPU pointer dereferenced on the GPU, wrong launch
+configuration, narrowing violations).  The Descend type checker rejects every
+one of them; this script prints the diagnostics.
+"""
+
+from repro.descend.typeck import check_program
+from repro.descend_programs.unsafe import UNSAFE_PROGRAMS
+from repro.errors import DescendTypeError
+
+
+def main() -> None:
+    for name, (builder, expected_code) in UNSAFE_PROGRAMS.items():
+        print("=" * 72)
+        print(f"program: {name}   (expected error: {expected_code})")
+        print("-" * 72)
+        try:
+            check_program(builder())
+        except DescendTypeError as exc:
+            print(exc.diagnostic.render())
+            status = "as expected" if exc.code == expected_code else f"UNEXPECTED CODE {exc.code}"
+            print(f"--> rejected {status}")
+        else:
+            print("!! the program was unexpectedly accepted")
+        print()
+
+
+if __name__ == "__main__":
+    main()

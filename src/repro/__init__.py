@@ -1,0 +1,26 @@
+"""repro — a Python reproduction of *Descend: A Safe GPU Systems Programming Language*.
+
+The package is organised into four layers:
+
+``repro.descend``
+    The paper's primary contribution: the Descend language (AST, parser,
+    type system with extended borrow checking, CUDA code generation, and an
+    interpreter that executes Descend programs on the simulator).
+
+``repro.gpusim``
+    The substrate: a GPU simulator with host/global/shared memories,
+    grid/block/thread execution, barrier synchronisation, a dynamic data-race
+    detector, and an analytic cost model used for benchmark timing.
+
+``repro.cudalite``
+    The baseline: "handwritten CUDA" kernels written against a CUDA-style
+    thread context and executed on the same simulator.
+
+``repro.benchsuite``
+    The evaluation harness reproducing Figure 8 and the ablations listed in
+    DESIGN.md.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,25 @@
+"""The evaluation harness: regenerates Figure 8 and the ablations of DESIGN.md.
+
+* :mod:`repro.benchsuite.workloads` — benchmark/size definitions (small,
+  medium, large — scaled-down versions of the paper's 256 MB / 512 MB / 1 GB
+  footprints, configurable through ``REPRO_SCALE``),
+* :mod:`repro.benchsuite.runner` — runs one benchmark in its CUDA-lite
+  (handwritten) and Descend (generated) variants and verifies both results,
+* :mod:`repro.benchsuite.figure8` — the Figure 8 table: relative median
+  runtimes of CUDA vs Descend per benchmark and size, plus the mean,
+* :mod:`repro.benchsuite.report` — plain-text table formatting,
+* :mod:`repro.benchsuite.ablation` — additional studies (coalescing, type
+  checking cost).
+"""
+
+from repro.benchsuite.runner import BenchmarkRun, run_benchmark_pair
+from repro.benchsuite.workloads import BENCHMARKS, SIZES, Workload, workload
+
+__all__ = [
+    "BenchmarkRun",
+    "run_benchmark_pair",
+    "Workload",
+    "workload",
+    "BENCHMARKS",
+    "SIZES",
+]

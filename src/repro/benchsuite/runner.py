@@ -1,0 +1,285 @@
+"""Running one benchmark in both variants (handwritten CUDA-lite vs Descend).
+
+For every workload the runner
+
+1. generates the input data,
+2. runs the handwritten CUDA-lite kernels on the simulator,
+3. builds the equivalent Descend program, type checks it, and executes it on
+   the same simulator (through the Descend interpreter),
+4. verifies both results against a numpy reference,
+5. reports the simulated kernel cycles of both variants (for scan: the sum of
+   the two kernels, as the paper measures).
+
+The paper reports the *median* of 100 runs; the simulator is deterministic,
+so ``repeats`` defaults to 3 and the median is over identical values — the
+parameter exists so the harness structure matches the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.benchsuite.workloads import Workload, workload
+from repro.cudalite.kernels import matmul as cu_matmul
+from repro.cudalite.kernels import reduce as cu_reduce
+from repro.cudalite.kernels import scan as cu_scan
+from repro.cudalite.kernels import transpose as cu_transpose
+from repro.descend.interp import DescendKernel
+from repro.descend.typeck import check_program
+from repro.descend_programs import matmul as d_matmul
+from repro.descend_programs import reduce as d_reduce
+from repro.descend_programs import scan as d_scan
+from repro.descend_programs import transpose as d_transpose
+from repro.errors import BenchmarkError
+from repro.gpusim import GpuDevice
+
+
+@dataclass
+class VariantRun:
+    """Result of running one variant (CUDA-lite or Descend) of a workload."""
+
+    cycles: float
+    kernel_cycles: List[float] = field(default_factory=list)
+    correct: bool = True
+    races: int = 0
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class BenchmarkRun:
+    """Result of running both variants of one workload."""
+
+    workload: Workload
+    cuda: VariantRun
+    descend: VariantRun
+
+    @property
+    def relative_runtime(self) -> float:
+        """Descend time relative to CUDA (1.0 = identical, < 1.0 = Descend faster)."""
+        if self.cuda.cycles == 0:
+            return float("nan")
+        return self.descend.cycles / self.cuda.cycles
+
+
+def _rng(workload_: Workload) -> np.random.Generator:
+    return np.random.default_rng(abs(hash(workload_.label)) % (2 ** 32))
+
+
+# ---------------------------------------------------------------------------
+# CUDA-lite variants
+# ---------------------------------------------------------------------------
+
+
+def _run_cuda_reduce(device: GpuDevice, params: Dict[str, int], data: np.ndarray) -> Tuple[float, np.ndarray, int, Dict]:
+    n, block_size = params["n"], params["block_size"]
+    num_blocks = n // block_size
+    input_buf = device.to_device(data, label="input")
+    output_buf = device.malloc((num_blocks,), dtype=np.float64, label="partials")
+    launch = device.launch(
+        cu_reduce.block_reduce_kernel, grid_dim=(num_blocks,), block_dim=(block_size,),
+        args=(input_buf, output_buf), kernel_name="cuda_reduce",
+    )
+    return launch.cycles, device.to_host(output_buf), len(launch.races), launch.cost.summary()
+
+
+def _run_cuda_transpose(device: GpuDevice, params: Dict[str, int], data: np.ndarray):
+    n, tile, rows = params["n"], params["tile"], params["rows"]
+    input_buf = device.to_device(data.reshape(-1), label="input")
+    output_buf = device.malloc((n * n,), dtype=np.float64, label="output")
+    launch = device.launch(
+        cu_transpose.transpose_kernel,
+        grid_dim=(n // tile, n // tile),
+        block_dim=(tile, rows),
+        args=(input_buf, output_buf, n, tile),
+        kernel_name="cuda_transpose",
+    )
+    return launch.cycles, device.to_host(output_buf).reshape(n, n), len(launch.races), launch.cost.summary()
+
+
+def _run_cuda_scan(device: GpuDevice, params: Dict[str, int], data: np.ndarray):
+    n, block_size, per_thread = params["n"], params["block_size"], params["elems_per_thread"]
+    chunk = block_size * per_thread
+    num_blocks = n // chunk
+    input_buf = device.to_device(data, label="input")
+    output_buf = device.malloc((n,), dtype=np.float64, label="output")
+    sums_buf = device.malloc((num_blocks,), dtype=np.float64, label="block_sums")
+    first = device.launch(
+        cu_scan.scan_block_kernel, grid_dim=(num_blocks,), block_dim=(block_size,),
+        args=(input_buf, output_buf, sums_buf, per_thread), kernel_name="cuda_scan_blocks",
+    )
+    offsets = cu_scan.exclusive_scan_on_host(device.to_host(sums_buf))
+    offsets_buf = device.to_device(offsets, label="offsets")
+    second = device.launch(
+        cu_scan.add_offsets_kernel, grid_dim=(num_blocks,), block_dim=(block_size,),
+        args=(output_buf, offsets_buf, per_thread), kernel_name="cuda_add_offsets",
+    )
+    cycles = first.cycles + second.cycles
+    races = len(first.races) + len(second.races)
+    stats = {k: first.cost.summary()[k] + second.cost.summary()[k] for k in first.cost.summary()}
+    return cycles, device.to_host(output_buf), races, stats
+
+
+def _run_cuda_matmul(device: GpuDevice, params: Dict[str, int], data: Tuple[np.ndarray, np.ndarray]):
+    m, k, n, tile = params["m"], params["k"], params["n"], params["tile"]
+    a, b = data
+    a_buf = device.to_device(a.reshape(-1), label="A")
+    b_buf = device.to_device(b.reshape(-1), label="B")
+    c_buf = device.malloc((m * n,), dtype=np.float64, label="C")
+    launch = device.launch(
+        cu_matmul.matmul_kernel,
+        grid_dim=(n // tile, m // tile),
+        block_dim=(tile, tile),
+        args=(a_buf, b_buf, c_buf, m, k, n, tile),
+        kernel_name="cuda_matmul",
+    )
+    return launch.cycles, device.to_host(c_buf).reshape(m, n), len(launch.races), launch.cost.summary()
+
+
+# ---------------------------------------------------------------------------
+# Descend variants
+# ---------------------------------------------------------------------------
+
+
+def _run_descend_reduce(device: GpuDevice, params: Dict[str, int], data: np.ndarray):
+    n, block_size = params["n"], params["block_size"]
+    num_blocks = n // block_size
+    program = d_reduce.build_reduce_program(n=n, block_size=block_size)
+    check_program(program)
+    input_buf = device.to_device(data, label="input")
+    output_buf = device.malloc((num_blocks,), dtype=np.float64, label="partials")
+    launch = DescendKernel(program, "block_reduce").launch(
+        device, {"input": input_buf, "output": output_buf}
+    )
+    return launch.cycles, device.to_host(output_buf), len(launch.races), launch.cost.summary()
+
+
+def _run_descend_transpose(device: GpuDevice, params: Dict[str, int], data: np.ndarray):
+    n, tile, rows = params["n"], params["tile"], params["rows"]
+    program = d_transpose.build_transpose_program(n=n, tile=tile, rows=rows)
+    check_program(program)
+    input_buf = device.to_device(data, label="input")
+    output_buf = device.malloc((n, n), dtype=np.float64, label="output")
+    launch = DescendKernel(program, "transpose").launch(
+        device, {"input": input_buf, "output": output_buf}
+    )
+    return launch.cycles, device.to_host(output_buf), len(launch.races), launch.cost.summary()
+
+
+def _run_descend_scan(device: GpuDevice, params: Dict[str, int], data: np.ndarray):
+    n, block_size, per_thread = params["n"], params["block_size"], params["elems_per_thread"]
+    chunk = block_size * per_thread
+    num_blocks = n // chunk
+    program = d_scan.build_scan_program(n=n, block_size=block_size, elems_per_thread=per_thread)
+    check_program(program)
+    input_buf = device.to_device(data, label="input")
+    output_buf = device.malloc((n,), dtype=np.float64, label="output")
+    sums_buf = device.malloc((num_blocks,), dtype=np.float64, label="block_sums")
+    first = DescendKernel(program, "scan_blocks").launch(
+        device, {"input": input_buf, "output": output_buf, "block_sums": sums_buf}
+    )
+    offsets = cu_scan.exclusive_scan_on_host(device.to_host(sums_buf))
+    offsets_buf = device.to_device(offsets, label="offsets")
+    second = DescendKernel(program, "add_offsets").launch(
+        device, {"output": output_buf, "offsets": offsets_buf}
+    )
+    cycles = first.cycles + second.cycles
+    races = len(first.races) + len(second.races)
+    stats = {k: first.cost.summary()[k] + second.cost.summary()[k] for k in first.cost.summary()}
+    return cycles, device.to_host(output_buf), races, stats
+
+
+def _run_descend_matmul(device: GpuDevice, params: Dict[str, int], data: Tuple[np.ndarray, np.ndarray]):
+    m, k, n, tile = params["m"], params["k"], params["n"], params["tile"]
+    a, b = data
+    program = d_matmul.build_matmul_program(m=m, k=k, n=n, tile=tile)
+    check_program(program)
+    a_buf = device.to_device(a, label="A")
+    b_buf = device.to_device(b, label="B")
+    c_buf = device.malloc((m, n), dtype=np.float64, label="C")
+    launch = DescendKernel(program, "matmul").launch(
+        device, {"a": a_buf, "b": b_buf, "c": c_buf}
+    )
+    return launch.cycles, device.to_host(c_buf), len(launch.races), launch.cost.summary()
+
+
+# ---------------------------------------------------------------------------
+# Putting both sides together
+# ---------------------------------------------------------------------------
+
+
+def _reference_and_data(workload_: Workload):
+    """Input data plus the numpy reference result for correctness checking."""
+    rng = _rng(workload_)
+    params = workload_.params
+    name = workload_.benchmark
+    if name == "reduce":
+        data = rng.random(params["n"])
+        reference = data.reshape(-1, params["block_size"]).sum(axis=1)
+        return data, reference
+    if name == "transpose":
+        data = rng.random((params["n"], params["n"]))
+        return data, data.T
+    if name == "scan":
+        data = rng.random(params["n"])
+        return data, np.cumsum(data)
+    if name == "matmul":
+        a = rng.random((params["m"], params["k"]))
+        b = rng.random((params["k"], params["n"]))
+        return (a, b), a @ b
+    raise BenchmarkError(f"unknown benchmark {name!r}")
+
+
+_CUDA_RUNNERS = {
+    "reduce": _run_cuda_reduce,
+    "transpose": _run_cuda_transpose,
+    "scan": _run_cuda_scan,
+    "matmul": _run_cuda_matmul,
+}
+
+_DESCEND_RUNNERS = {
+    "reduce": _run_descend_reduce,
+    "transpose": _run_descend_transpose,
+    "scan": _run_descend_scan,
+    "matmul": _run_descend_matmul,
+}
+
+
+def _run_variant(runner, workload_: Workload, data, reference, repeats: int) -> VariantRun:
+    cycles_per_run: List[float] = []
+    races = 0
+    correct = True
+    stats: Dict[str, float] = {}
+    for _ in range(max(1, repeats)):
+        device = GpuDevice()
+        cycles, result, run_races, stats = runner(device, workload_.params, data)
+        cycles_per_run.append(cycles)
+        races += run_races
+        correct = correct and np.allclose(result, reference)
+    return VariantRun(
+        cycles=statistics.median(cycles_per_run),
+        kernel_cycles=cycles_per_run,
+        correct=correct,
+        races=races,
+        stats=stats,
+    )
+
+
+def run_benchmark_pair(
+    benchmark: str,
+    size: str,
+    repeats: int = 1,
+) -> BenchmarkRun:
+    """Run one Figure 8 cell: the CUDA-lite and Descend variants of one workload."""
+    workload_ = workload(benchmark, size)
+    data, reference = _reference_and_data(workload_)
+    cuda = _run_variant(_CUDA_RUNNERS[benchmark], workload_, data, reference, repeats)
+    descend = _run_variant(_DESCEND_RUNNERS[benchmark], workload_, data, reference, repeats)
+    if not cuda.correct:
+        raise BenchmarkError(f"CUDA-lite produced a wrong result for {workload_.label}")
+    if not descend.correct:
+        raise BenchmarkError(f"Descend produced a wrong result for {workload_.label}")
+    return BenchmarkRun(workload=workload_, cuda=cuda, descend=descend)

@@ -1,0 +1,139 @@
+"""``descendc`` — the command-line interface of the Descend reproduction.
+
+Sub-commands:
+
+``descendc check file.descend``
+    Parse and type check; print the first diagnostic (with source snippet) if
+    the program violates Descend's safety rules.
+
+``descendc compile file.descend [-o out.cu]``
+    Type check and emit the CUDA C++ translation.
+
+``descendc print file.descend``
+    Parse, type check, and pretty-print the program back to surface syntax.
+
+``descendc figure8 [--sizes small ...]``
+    Run the benchmark harness reproducing Figure 8 of the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.descend.compiler import compile_file
+from repro.errors import DescendError, DescendSyntaxError, DescendTypeError
+
+
+def _load(path: str):
+    return compile_file(path)
+
+
+def _print_failure(exc: Exception, path: str) -> None:
+    diagnostic = getattr(exc, "diagnostic", None)
+    if diagnostic is not None:
+        source = None
+        try:
+            from repro.descend.source import SourceFile
+
+            with open(path, "r", encoding="utf-8") as handle:
+                source = SourceFile(handle.read(), path)
+        except OSError:
+            source = None
+        print(diagnostic.render(source), file=sys.stderr)
+    else:
+        print(f"error: {exc}", file=sys.stderr)
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    try:
+        compiled = _load(args.file)
+    except (DescendSyntaxError, DescendTypeError) as exc:
+        _print_failure(exc, args.file)
+        return 1
+    names = ", ".join(compiled.function_names)
+    print(f"ok: {args.file} type checks ({names})")
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    try:
+        compiled = _load(args.file)
+    except (DescendSyntaxError, DescendTypeError) as exc:
+        _print_failure(exc, args.file)
+        return 1
+    source = compiled.to_cuda().full_source()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        print(f"wrote {args.output}")
+    else:
+        print(source)
+    return 0
+
+
+def cmd_print(args: argparse.Namespace) -> int:
+    try:
+        compiled = _load(args.file)
+    except (DescendSyntaxError, DescendTypeError) as exc:
+        _print_failure(exc, args.file)
+        return 1
+    print(compiled.to_source())
+    return 0
+
+
+def cmd_figure8(args: argparse.Namespace) -> int:
+    from repro.benchsuite import figure8
+
+    forwarded = []
+    if args.benchmarks:
+        forwarded += ["--benchmarks", *args.benchmarks]
+    if args.sizes:
+        forwarded += ["--sizes", *args.sizes]
+    if args.json:
+        forwarded.append("--json")
+    return figure8.main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="descendc",
+        description="Descend (PLDI 2024) reproduction: type check, compile and benchmark",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="parse and type check a .descend file")
+    check.add_argument("file")
+    check.set_defaults(func=cmd_check)
+
+    compile_ = sub.add_parser("compile", help="emit CUDA C++ for a .descend file")
+    compile_.add_argument("file")
+    compile_.add_argument("-o", "--output")
+    compile_.set_defaults(func=cmd_compile)
+
+    print_ = sub.add_parser("print", help="pretty-print a .descend file")
+    print_.add_argument("file")
+    print_.set_defaults(func=cmd_print)
+
+    fig8 = sub.add_parser("figure8", help="run the Figure 8 benchmark harness")
+    fig8.add_argument("--benchmarks", nargs="*")
+    fig8.add_argument("--sizes", nargs="*")
+    fig8.add_argument("--json", action="store_true")
+    fig8.set_defaults(func=cmd_figure8)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except DescendError as exc:  # pragma: no cover - defensive top-level handler
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,20 @@
+"""CUDA-lite: handwritten CUDA-style baseline kernels.
+
+The paper's evaluation compares Descend-generated CUDA against handwritten
+CUDA implementations that use the same optimisations and access patterns
+(Section 5).  This package is that baseline: kernels written directly against
+the simulator's CUDA-style :class:`~repro.gpusim.launch.ThreadCtx` (with
+``threadIdx`` / ``blockIdx`` / shared memory / ``yield`` as
+``__syncthreads()``), one module per benchmark:
+
+* :mod:`repro.cudalite.kernels.vector` — element-wise kernels (quickstart),
+* :mod:`repro.cudalite.kernels.reduce` — block-wide tree reduction,
+* :mod:`repro.cudalite.kernels.transpose` — tiled matrix transposition,
+* :mod:`repro.cudalite.kernels.scan` — two-kernel scan,
+* :mod:`repro.cudalite.kernels.matmul` — tiled matrix multiplication,
+* :mod:`repro.cudalite.kernels.buggy` — the racy transpose of Listing 1.
+"""
+
+from repro.cudalite.kernels import buggy, matmul, reduce, scan, transpose, vector
+
+__all__ = ["vector", "reduce", "transpose", "scan", "matmul", "buggy"]

@@ -1,0 +1,5 @@
+"""The handwritten CUDA-lite baseline kernels, one module per benchmark."""
+
+from repro.cudalite.kernels import buggy, matmul, reduce, scan, transpose, vector
+
+__all__ = ["vector", "reduce", "transpose", "scan", "matmul", "buggy"]

@@ -1,0 +1,51 @@
+"""Element-wise vector kernels (the scale_vec example of Section 2.3)."""
+
+from __future__ import annotations
+
+from repro.gpusim.buffer import DeviceBuffer
+from repro.gpusim.launch import ThreadCtx
+
+
+def global_tid(ctx: ThreadCtx) -> int:
+    """The CUDA ``blockIdx.x * blockDim.x + threadIdx.x`` global thread index."""
+    return ctx.blockIdx.x * ctx.blockDim.x + ctx.threadIdx.x
+
+
+def scale_vec_kernel(ctx: ThreadCtx, vec: DeviceBuffer, factor: float):
+    """``vec[i] = vec[i] * factor`` with one thread per element."""
+    index = global_tid(ctx)
+    value = ctx.load(vec, index)
+    ctx.arith(1)
+    ctx.store(vec, index, value * factor)
+    return
+    yield  # pragma: no cover - makes this a generator for uniform handling
+
+
+def init_kernel(ctx: ThreadCtx, vec: DeviceBuffer, value: float):
+    """``vec[i] = value`` with one thread per element (Section 2.3 example)."""
+    index = global_tid(ctx)
+    ctx.store(vec, index, value)
+    return
+    yield  # pragma: no cover
+
+
+def vec_add_kernel(ctx: ThreadCtx, out: DeviceBuffer, lhs: DeviceBuffer, rhs: DeviceBuffer):
+    """``out[i] = lhs[i] + rhs[i]`` with one thread per element."""
+    index = global_tid(ctx)
+    a = ctx.load(lhs, index)
+    b = ctx.load(rhs, index)
+    ctx.arith(1)
+    ctx.store(out, index, a + b)
+    return
+    yield  # pragma: no cover
+
+
+def saxpy_kernel(ctx: ThreadCtx, y: DeviceBuffer, x: DeviceBuffer, alpha: float):
+    """``y[i] = alpha * x[i] + y[i]``."""
+    index = global_tid(ctx)
+    xv = ctx.load(x, index)
+    yv = ctx.load(y, index)
+    ctx.arith(2)
+    ctx.store(y, index, alpha * xv + yv)
+    return
+    yield  # pragma: no cover

@@ -1,0 +1,21 @@
+"""The Descend language: AST, frontend, type system, code generation, interpreter.
+
+The most convenient entry points are in :mod:`repro.descend.compiler`:
+
+>>> from repro.descend.compiler import compile_source
+>>> program = compile_source(source_text)      # parse + typecheck
+>>> cuda = program.to_cuda()                   # CUDA C++ source strings
+>>> result = program.run(device, args)         # execute on the GPU simulator
+"""
+
+from repro.descend.nat import Nat, NatConst, NatVar, as_nat
+from repro.descend.source import SourceFile, Span
+
+__all__ = [
+    "Nat",
+    "NatConst",
+    "NatVar",
+    "as_nat",
+    "SourceFile",
+    "Span",
+]

@@ -1,0 +1,117 @@
+"""Abstract syntax of Descend.
+
+The sub-modules mirror the figures of the paper:
+
+* :mod:`repro.descend.ast.dims` — dimension specifications (``XYZ<2,2,1>`` ...)
+* :mod:`repro.descend.ast.memory` — memory spaces (Figure 6, μ)
+* :mod:`repro.descend.ast.exec_level` — execution levels (Figure 6, ε)
+* :mod:`repro.descend.ast.exec_resources` — execution resources (Figure 2, e)
+* :mod:`repro.descend.ast.types` — data and function types (Figure 6, δ)
+* :mod:`repro.descend.ast.views` — view references used in place expressions
+* :mod:`repro.descend.ast.places` — place expressions (Figure 3, p)
+* :mod:`repro.descend.ast.terms` — terms (Figure 5, t)
+* :mod:`repro.descend.ast.printer` — pretty printer back to surface syntax
+"""
+
+from repro.descend.ast.dims import Dim, DimName, dim_x, dim_xy, dim_xyz, dim_y, dim_z
+from repro.descend.ast.exec_level import (
+    CpuThreadLevel,
+    ExecLevel,
+    ExecSpec,
+    GpuBlockLevel,
+    GpuGridLevel,
+    GpuThreadLevel,
+)
+from repro.descend.ast.exec_resources import (
+    CpuThreadRes,
+    ExecResource,
+    ForallRes,
+    GpuGridRes,
+    SplitRes,
+)
+from repro.descend.ast.memory import CPU_MEM, GPU_GLOBAL, GPU_LOCAL, GPU_SHARED, Memory, MemVar
+from repro.descend.ast.places import (
+    PlaceExpr,
+    PDeref,
+    PIdx,
+    PProj,
+    PSelect,
+    PVar,
+    PView,
+)
+from repro.descend.ast.types import (
+    ArrayType,
+    ArrayViewType,
+    AtType,
+    BOOL,
+    DataType,
+    F32,
+    F64,
+    FnType,
+    GenericParam,
+    I32,
+    I64,
+    Kind,
+    RefType,
+    ScalarType,
+    TupleType,
+    TyVar,
+    U32,
+    UNIT,
+)
+from repro.descend.ast.views import ViewRef
+from repro.descend.ast import terms
+
+__all__ = [
+    "Dim",
+    "DimName",
+    "dim_x",
+    "dim_y",
+    "dim_z",
+    "dim_xy",
+    "dim_xyz",
+    "Memory",
+    "MemVar",
+    "CPU_MEM",
+    "GPU_GLOBAL",
+    "GPU_SHARED",
+    "GPU_LOCAL",
+    "ExecLevel",
+    "ExecSpec",
+    "CpuThreadLevel",
+    "GpuGridLevel",
+    "GpuBlockLevel",
+    "GpuThreadLevel",
+    "ExecResource",
+    "CpuThreadRes",
+    "GpuGridRes",
+    "ForallRes",
+    "SplitRes",
+    "DataType",
+    "ScalarType",
+    "TupleType",
+    "ArrayType",
+    "ArrayViewType",
+    "RefType",
+    "AtType",
+    "TyVar",
+    "FnType",
+    "GenericParam",
+    "Kind",
+    "I32",
+    "I64",
+    "U32",
+    "F32",
+    "F64",
+    "BOOL",
+    "UNIT",
+    "PlaceExpr",
+    "PVar",
+    "PProj",
+    "PDeref",
+    "PIdx",
+    "PSelect",
+    "PView",
+    "ViewRef",
+    "terms",
+]

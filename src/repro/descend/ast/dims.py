@@ -1,0 +1,152 @@
+"""Dimension specifications for grids and blocks.
+
+The paper's grammar (Figure 2) allows one-, two- and three-dimensional
+shapes such as ``XYZ<2,2,1>``, ``XY<32,8>`` or ``X<256>``.  A :class:`Dim`
+records which named dimensions are present and their (symbolic) sizes; the
+missing-dimension forms let the type checker reject scheduling over a
+dimension the grid does not have.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.descend.nat import Nat, NatLike, as_nat, evaluate_nat, nat_equal
+from repro.errors import DescendError
+
+
+class DimName(enum.Enum):
+    """The three spatial dimension names of the CUDA/Descend hierarchy."""
+
+    X = "X"
+    Y = "Y"
+    Z = "Z"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def parse_dim_name(name: str) -> DimName:
+    try:
+        return DimName(name.upper())
+    except ValueError as exc:
+        raise DescendError(f"unknown dimension name: {name!r}") from exc
+
+
+@dataclass(frozen=True)
+class Dim:
+    """An ordered collection of named dimension sizes, e.g. ``XY<32,8>``.
+
+    The declaration order is preserved (it is the order in which the surface
+    syntax lists the sizes); lookups are by :class:`DimName`.
+    """
+
+    entries: Tuple[Tuple[DimName, Nat], ...]
+
+    def __post_init__(self) -> None:
+        names = [name for name, _ in self.entries]
+        if len(names) != len(set(names)):
+            raise DescendError(f"duplicate dimension names in {self.spec_name()}")
+        if not names:
+            raise DescendError("a dimension specification needs at least one dimension")
+
+    # -- constructors ---------------------------------------------------------
+    @staticmethod
+    def of(**sizes: NatLike) -> "Dim":
+        """Construct from keyword arguments, e.g. ``Dim.of(x=32, y=8)``."""
+        entries = tuple((parse_dim_name(key), as_nat(value)) for key, value in sizes.items())
+        return Dim(entries)
+
+    @staticmethod
+    def from_pairs(pairs: Iterable[Tuple[DimName, NatLike]]) -> "Dim":
+        return Dim(tuple((name, as_nat(size)) for name, size in pairs))
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def names(self) -> Tuple[DimName, ...]:
+        return tuple(name for name, _ in self.entries)
+
+    @property
+    def sizes(self) -> Tuple[Nat, ...]:
+        return tuple(size for _, size in self.entries)
+
+    def has(self, name: DimName) -> bool:
+        return any(entry_name == name for entry_name, _ in self.entries)
+
+    def size(self, name: DimName) -> Nat:
+        for entry_name, size in self.entries:
+            if entry_name == name:
+                return size
+        raise DescendError(f"dimension {name} not present in {self.spec_name()}")
+
+    def total(self) -> Nat:
+        total: Optional[Nat] = None
+        for _, size in self.entries:
+            total = size if total is None else total * size
+        assert total is not None
+        return total
+
+    def rank(self) -> int:
+        return len(self.entries)
+
+    def spec_name(self) -> str:
+        """The surface-syntax name, e.g. ``XY<32, 8>``."""
+        names = "".join(str(name) for name, _ in self.entries)
+        sizes = ", ".join(str(size) for _, size in self.entries)
+        return f"{names}<{sizes}>"
+
+    def concrete_sizes(self, env: Optional[Mapping[str, int]] = None) -> Dict[DimName, int]:
+        """Evaluate every size with the given nat bindings."""
+        return {name: evaluate_nat(size, env) for name, size in self.entries}
+
+    def substitute_nats(self, mapping: Mapping[str, Nat]) -> "Dim":
+        return Dim(tuple((name, size.substitute(mapping)) for name, size in self.entries))
+
+    def equals(self, other: "Dim") -> bool:
+        """Structural equality modulo nat normalisation and dimension order."""
+        if set(self.names) != set(other.names):
+            return False
+        return all(nat_equal(self.size(name), other.size(name)) for name in self.names)
+
+    def __str__(self) -> str:
+        return self.spec_name()
+
+
+def dim_x(size: NatLike) -> Dim:
+    return Dim.of(x=size)
+
+
+def dim_y(size: NatLike) -> Dim:
+    return Dim.of(y=size)
+
+
+def dim_z(size: NatLike) -> Dim:
+    return Dim.of(z=size)
+
+
+def dim_xy(x: NatLike, y: NatLike) -> Dim:
+    return Dim.from_pairs([(DimName.X, x), (DimName.Y, y)])
+
+
+def dim_xz(x: NatLike, z: NatLike) -> Dim:
+    return Dim.from_pairs([(DimName.X, x), (DimName.Z, z)])
+
+
+def dim_yz(y: NatLike, z: NatLike) -> Dim:
+    return Dim.from_pairs([(DimName.Y, y), (DimName.Z, z)])
+
+
+def dim_xyz(x: NatLike, y: NatLike, z: NatLike) -> Dim:
+    return Dim.from_pairs([(DimName.X, x), (DimName.Y, y), (DimName.Z, z)])
+
+
+def dim_from_spec(spec: str, sizes: Sequence[NatLike]) -> Dim:
+    """Build a Dim from a surface-syntax prefix such as ``"XY"`` plus sizes."""
+    names = [parse_dim_name(char) for char in spec]
+    if len(names) != len(sizes):
+        raise DescendError(
+            f"dimension spec {spec!r} expects {len(names)} sizes, got {len(sizes)}"
+        )
+    return Dim.from_pairs(list(zip(names, [as_nat(s) for s in sizes])))

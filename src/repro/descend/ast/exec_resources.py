@@ -1,0 +1,300 @@
+"""Execution resources (the ``e`` of Figure 2).
+
+An execution resource identifies *who* executes a piece of code: the single
+CPU thread, the whole GPU grid, all blocks with equal coordinates in some
+dimensions (``grid.forall(X)``), one half of a split (``blocks.split(1, Y).fst``)
+and so on, down to a single GPU thread.
+
+The type checker uses execution resources for three things (Section 3.1):
+
+1. checking what code runs on the CPU vs the GPU,
+2. checking which instructions are executed by which part of the hierarchy
+   (e.g. a barrier must be executed by *all* threads of a block),
+3. keeping track of dimensions and sizes for code generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.descend.ast.dims import Dim, DimName
+from repro.descend.nat import Nat, NatLike, as_nat
+from repro.errors import DescendError
+
+
+class ExecResource:
+    """Base class of execution resources."""
+
+    __slots__ = ()
+
+    # -- hierarchy navigation --------------------------------------------------
+    def base_grid(self) -> Optional["GpuGridRes"]:
+        """The grid this resource was derived from (None for CPU threads)."""
+        raise NotImplementedError
+
+    def chain(self) -> List["ExecResource"]:
+        """The derivation chain from the root resource to ``self`` (inclusive)."""
+        raise NotImplementedError
+
+    def is_gpu(self) -> bool:
+        return self.base_grid() is not None
+
+    # -- scheduling state --------------------------------------------------------
+    def scheduled_block_dims(self) -> Tuple[DimName, ...]:
+        """Block dimensions already distributed with ``forall``."""
+        raise NotImplementedError
+
+    def scheduled_thread_dims(self) -> Tuple[DimName, ...]:
+        """Thread dimensions already distributed with ``forall``."""
+        raise NotImplementedError
+
+    def pending_block_dims(self) -> Tuple[DimName, ...]:
+        grid = self.base_grid()
+        if grid is None:
+            return ()
+        done = set(self.scheduled_block_dims())
+        return tuple(name for name in grid.blocks.names if name not in done)
+
+    def pending_thread_dims(self) -> Tuple[DimName, ...]:
+        grid = self.base_grid()
+        if grid is None:
+            return ()
+        done = set(self.scheduled_thread_dims())
+        return tuple(name for name in grid.threads.names if name not in done)
+
+    def blocks_fully_scheduled(self) -> bool:
+        return self.is_gpu() and not self.pending_block_dims()
+
+    def threads_fully_scheduled(self) -> bool:
+        return self.is_gpu() and not self.pending_thread_dims()
+
+    def is_single_thread(self) -> bool:
+        """True when the resource denotes one GPU thread (or the CPU thread)."""
+        if not self.is_gpu():
+            return True
+        return self.blocks_fully_scheduled() and self.threads_fully_scheduled()
+
+    def is_block_level(self) -> bool:
+        """True when the resource denotes one block (threads not yet scheduled)."""
+        return (
+            self.is_gpu()
+            and self.blocks_fully_scheduled()
+            and not self.scheduled_thread_dims()
+            and not self.threads_fully_scheduled()
+        )
+
+    def sched_depth(self) -> int:
+        """Number of ``sched`` (forall) steps applied so far."""
+        return sum(1 for res in self.chain() if isinstance(res, ForallRes))
+
+    def has_thread_split(self) -> bool:
+        """True if a ``split`` was applied after the blocks were fully scheduled.
+
+        Such a split partitions the threads of a block, which makes a block-wide
+        barrier illegal (the paper's "barrier not allowed here" error).
+        """
+        for res in self.chain():
+            if isinstance(res, SplitRes) and res.base.blocks_fully_scheduled():
+                return True
+        return False
+
+    def split_of_blocks(self) -> bool:
+        """True if a ``split`` was applied while block dims were still pending."""
+        for res in self.chain():
+            if isinstance(res, SplitRes) and not res.base.blocks_fully_scheduled():
+                return True
+        return False
+
+    # -- extents -----------------------------------------------------------------
+    def forall_extents(self, dims: Tuple[DimName, ...]) -> Tuple[Nat, ...]:
+        """Sizes of the sub-resource axes a ``sched`` over ``dims`` would create."""
+        grid = self.base_grid()
+        if grid is None:
+            raise DescendError("cannot schedule over a CPU thread")
+        extents = []
+        pending_blocks = set(self.pending_block_dims())
+        for dim in dims:
+            if pending_blocks:
+                if dim not in pending_blocks:
+                    raise DescendError(
+                        f"dimension {dim} is not an unscheduled block dimension"
+                    )
+                extents.append(self._extent_of(dim, over_blocks=True))
+            else:
+                if dim not in set(self.pending_thread_dims()):
+                    raise DescendError(
+                        f"dimension {dim} is not an unscheduled thread dimension"
+                    )
+                extents.append(self._extent_of(dim, over_blocks=False))
+        return tuple(extents)
+
+    def _extent_of(self, dim: DimName, over_blocks: bool) -> Nat:
+        """The extent of ``dim`` accounting for splits applied along the chain."""
+        grid = self.base_grid()
+        assert grid is not None
+        base = grid.blocks.size(dim) if over_blocks else grid.threads.size(dim)
+        for res in self.chain():
+            if isinstance(res, SplitRes) and res.dim == dim:
+                applies_to_blocks = not res.base.blocks_fully_scheduled()
+                if applies_to_blocks == over_blocks:
+                    base = res.pos if res.which == "fst" else base - res.pos
+        return base
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class CpuThreadRes(ExecResource):
+    """The single CPU host thread."""
+
+    name: str = "cpu.thread"
+
+    def base_grid(self) -> Optional["GpuGridRes"]:
+        return None
+
+    def chain(self) -> List[ExecResource]:
+        return [self]
+
+    def scheduled_block_dims(self) -> Tuple[DimName, ...]:
+        return ()
+
+    def scheduled_thread_dims(self) -> Tuple[DimName, ...]:
+        return ()
+
+    def describe(self) -> str:
+        return "cpu.thread"
+
+
+@dataclass(frozen=True)
+class GpuGridRes(ExecResource):
+    """The full GPU grid described by block and thread shapes."""
+
+    blocks: Dim
+    threads: Dim
+
+    def base_grid(self) -> Optional["GpuGridRes"]:
+        return self
+
+    def chain(self) -> List[ExecResource]:
+        return [self]
+
+    def scheduled_block_dims(self) -> Tuple[DimName, ...]:
+        return ()
+
+    def scheduled_thread_dims(self) -> Tuple[DimName, ...]:
+        return ()
+
+    def describe(self) -> str:
+        return f"gpu.grid<{self.blocks}, {self.threads}>"
+
+
+@dataclass(frozen=True)
+class ForallRes(ExecResource):
+    """``e.forall(d₁)...forall(dₖ)`` — one ``sched`` step over ``dims``.
+
+    The paper writes one ``forall`` per dimension; a single surface-level
+    ``sched(Y, X)`` corresponds to two chained foralls.  We keep the whole
+    sched step in one node (with an ordered tuple of dimensions) because the
+    narrowing check reasons per sched step.
+    """
+
+    base: ExecResource
+    dims: Tuple[DimName, ...]
+
+    def base_grid(self) -> Optional[GpuGridRes]:
+        return self.base.base_grid()
+
+    def chain(self) -> List[ExecResource]:
+        return self.base.chain() + [self]
+
+    def over_blocks(self) -> bool:
+        """Whether this sched step distributes blocks (vs threads)."""
+        return bool(self.base.pending_block_dims())
+
+    def scheduled_block_dims(self) -> Tuple[DimName, ...]:
+        inherited = self.base.scheduled_block_dims()
+        if self.over_blocks():
+            return inherited + self.dims
+        return inherited
+
+    def scheduled_thread_dims(self) -> Tuple[DimName, ...]:
+        inherited = self.base.scheduled_thread_dims()
+        if not self.over_blocks():
+            return inherited + self.dims
+        return inherited
+
+    def extents(self) -> Tuple[Nat, ...]:
+        """The number of sub-resources along each scheduled dimension."""
+        return self.base.forall_extents(self.dims)
+
+    def describe(self) -> str:
+        foralls = "".join(f".forall({dim})" for dim in self.dims)
+        return f"{self.base.describe()}{foralls}"
+
+
+@dataclass(frozen=True)
+class SplitRes(ExecResource):
+    """``e.split(pos, d).fst`` / ``.snd`` — one half of a split resource."""
+
+    base: ExecResource
+    dim: DimName
+    pos: Nat
+    which: str  # "fst" | "snd"
+
+    def __post_init__(self) -> None:
+        if self.which not in ("fst", "snd"):
+            raise DescendError(f"invalid split selector {self.which!r}")
+
+    def base_grid(self) -> Optional[GpuGridRes]:
+        return self.base.base_grid()
+
+    def chain(self) -> List[ExecResource]:
+        return self.base.chain() + [self]
+
+    def scheduled_block_dims(self) -> Tuple[DimName, ...]:
+        return self.base.scheduled_block_dims()
+
+    def scheduled_thread_dims(self) -> Tuple[DimName, ...]:
+        return self.base.scheduled_thread_dims()
+
+    def describe(self) -> str:
+        return f"{self.base.describe()}.split({self.pos}, {self.dim}).{self.which}"
+
+
+def make_split(base: ExecResource, dim: DimName, pos: NatLike) -> Tuple[SplitRes, SplitRes]:
+    """Create the two halves of splitting ``base`` at ``pos`` along ``dim``."""
+    pos_nat = as_nat(pos)
+    return (
+        SplitRes(base, dim, pos_nat, "fst"),
+        SplitRes(base, dim, pos_nat, "snd"),
+    )
+
+
+def exec_disjoint(a: ExecResource, b: ExecResource) -> bool:
+    """Whether two execution resources denote provably disjoint thread sets.
+
+    The only source of disjointness tracked here is a split: if the two
+    resources share a common derivation prefix and then take different halves
+    of the *same* split, no thread belongs to both.
+    """
+    chain_a = a.chain()
+    chain_b = b.chain()
+    for res_a, res_b in zip(chain_a, chain_b):
+        if res_a == res_b:
+            continue
+        if (
+            isinstance(res_a, SplitRes)
+            and isinstance(res_b, SplitRes)
+            and res_a.base == res_b.base
+            and res_a.dim == res_b.dim
+            and res_a.pos == res_b.pos
+            and res_a.which != res_b.which
+        ):
+            return True
+        return False
+    return False

@@ -1,0 +1,48 @@
+"""View references as they appear in place expressions.
+
+A :class:`ViewRef` is the syntactic occurrence of a view applied to a place
+expression, e.g. ``.group::<32>`` or ``.map(transpose)``.  The semantics of
+views (shape transformation and index remapping) live in
+:mod:`repro.descend.views`; this module only defines the AST node so that the
+AST layer has no dependency on the semantics layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from repro.descend.nat import Nat, NatLike, as_nat
+
+
+@dataclass(frozen=True)
+class ViewRef:
+    """A reference to a named view with nat and view arguments.
+
+    ``p.group::<32>`` becomes ``ViewRef("group", (NatConst(32),), ())`` and
+    ``p.map(transpose)`` becomes
+    ``ViewRef("map", (), (ViewRef("transpose"),))``.
+    """
+
+    name: str
+    nat_args: Tuple[Nat, ...] = ()
+    view_args: Tuple["ViewRef", ...] = ()
+
+    @staticmethod
+    def of(name: str, *nat_args: NatLike, view_args: Tuple["ViewRef", ...] = ()) -> "ViewRef":
+        return ViewRef(name, tuple(as_nat(arg) for arg in nat_args), view_args)
+
+    def substitute_nats(self, mapping: Mapping[str, Nat]) -> "ViewRef":
+        return ViewRef(
+            self.name,
+            tuple(arg.substitute(mapping) for arg in self.nat_args),
+            tuple(view.substitute_nats(mapping) for view in self.view_args),
+        )
+
+    def __str__(self) -> str:
+        text = self.name
+        if self.nat_args:
+            text += "::<" + ", ".join(str(arg) for arg in self.nat_args) + ">"
+        if self.view_args:
+            text += "(" + ", ".join(str(arg) for arg in self.view_args) + ")"
+        return text

@@ -1,0 +1,199 @@
+"""Symbolic C index expressions.
+
+The view-indexing engine (:mod:`repro.descend.views.indexing`) is agnostic to
+its value domain: it only needs ``+``, ``-``, ``*``, ``//`` and ``%``.  The
+code generator instantiates it with :class:`CExpr` values, so the exact same
+view semantics that the interpreter executes are *emitted* as raw CUDA index
+arithmetic (the paper's reverse-order view lowering).
+
+Light algebraic simplification keeps the emitted indices readable:
+``x * 1 = x``, ``x + 0 = x``, ``0 * x = 0`` and constant folding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.descend.nat import Nat, NatBinOp, NatConst, NatVar
+from repro.errors import DescendCodegenError
+
+
+class CExpr:
+    """Base class of symbolic C expressions."""
+
+    precedence = 100
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    # -- operator overloading so CExpr can flow through the view engine ---------
+    def __add__(self, other):
+        return _binary("+", self, as_cexpr(other))
+
+    def __radd__(self, other):
+        return _binary("+", as_cexpr(other), self)
+
+    def __sub__(self, other):
+        return _binary("-", self, as_cexpr(other))
+
+    def __rsub__(self, other):
+        return _binary("-", as_cexpr(other), self)
+
+    def __mul__(self, other):
+        return _binary("*", self, as_cexpr(other))
+
+    def __rmul__(self, other):
+        return _binary("*", as_cexpr(other), self)
+
+    def __floordiv__(self, other):
+        return _binary("/", self, as_cexpr(other))
+
+    def __rfloordiv__(self, other):
+        return _binary("/", as_cexpr(other), self)
+
+    def __mod__(self, other):
+        return _binary("%", self, as_cexpr(other))
+
+    def __rmod__(self, other):
+        return _binary("%", as_cexpr(other), self)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True)
+class CConst(CExpr):
+    """An integer constant."""
+
+    value: int
+
+    def render(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class CSym(CExpr):
+    """A named symbol (``threadIdx.x``, a loop variable, a nat parameter...)."""
+
+    name: str
+
+    def render(self) -> str:
+        return self.name
+
+
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2, "%": 2, "<<": 0}
+
+
+@dataclass(frozen=True)
+class CBinOp(CExpr):
+    """A binary operation over index expressions."""
+
+    op: str
+    lhs: CExpr
+    rhs: CExpr
+
+    @property
+    def precedence(self) -> int:  # type: ignore[override]
+        return _PRECEDENCE.get(self.op, 1)
+
+    def render(self) -> str:
+        lhs = self._render_side(self.lhs, parent_left=True)
+        rhs = self._render_side(self.rhs, parent_left=False)
+        return f"{lhs} {self.op} {rhs}"
+
+    def _render_side(self, side: CExpr, parent_left: bool) -> str:
+        text = side.render()
+        if isinstance(side, CBinOp):
+            needs_parens = side.precedence < self.precedence or (
+                not parent_left and side.precedence == self.precedence and self.op in ("-", "/", "%")
+            )
+            if needs_parens or side.op in ("<<",):
+                return f"({text})"
+        return text
+
+
+def cconst(value: int) -> CConst:
+    return CConst(int(value))
+
+
+def csym(name: str) -> CSym:
+    return CSym(name)
+
+
+def as_cexpr(value: Union[int, CExpr]) -> CExpr:
+    if isinstance(value, CExpr):
+        return value
+    if isinstance(value, (int,)):
+        return CConst(int(value))
+    raise DescendCodegenError(f"cannot convert {value!r} into a C index expression")
+
+
+def _binary(op: str, lhs: CExpr, rhs: CExpr) -> CExpr:
+    """Build a binary expression with light constant folding and simplification."""
+    if isinstance(lhs, CConst) and isinstance(rhs, CConst):
+        left, right = lhs.value, rhs.value
+        if op == "+":
+            return CConst(left + right)
+        if op == "-":
+            return CConst(left - right)
+        if op == "*":
+            return CConst(left * right)
+        if op == "/" and right != 0:
+            return CConst(left // right)
+        if op == "%" and right != 0:
+            return CConst(left % right)
+    if op == "+":
+        if isinstance(lhs, CConst) and lhs.value == 0:
+            return rhs
+        if isinstance(rhs, CConst) and rhs.value == 0:
+            return lhs
+    if op == "-" and isinstance(rhs, CConst) and rhs.value == 0:
+        return lhs
+    if op == "*":
+        if isinstance(lhs, CConst):
+            if lhs.value == 0:
+                return CConst(0)
+            if lhs.value == 1:
+                return rhs
+        if isinstance(rhs, CConst):
+            if rhs.value == 0:
+                return CConst(0)
+            if rhs.value == 1:
+                return lhs
+    if op in ("/", "%") and isinstance(rhs, CConst) and rhs.value == 1:
+        return lhs if op == "/" else CConst(0)
+    return CBinOp(op, lhs, rhs)
+
+
+def nat_to_cexpr(nat: Nat, env=None) -> CExpr:
+    """Lower a nat expression to a C index expression.
+
+    Nat variables that have concrete bindings in ``env`` become constants,
+    others become symbols (loop variables, nat template parameters).  Powers
+    of two become shifts (``2^k`` → ``1 << k``).
+    """
+    env = env or {}
+    if isinstance(nat, NatConst):
+        return CConst(nat.value)
+    if isinstance(nat, NatVar):
+        if nat.name in env:
+            return CConst(int(env[nat.name]))
+        return CSym(nat.name)
+    if isinstance(nat, NatBinOp):
+        if nat.op == "^":
+            base = nat_to_cexpr(nat.lhs, env)
+            exponent = nat_to_cexpr(nat.rhs, env)
+            if isinstance(base, CConst) and base.value == 2:
+                if isinstance(exponent, CConst):
+                    return CConst(2 ** exponent.value)
+                return CBinOp("<<", CConst(1), exponent)
+            if isinstance(base, CConst) and isinstance(exponent, CConst):
+                return CConst(base.value ** exponent.value)
+            raise DescendCodegenError(
+                f"cannot lower power expression {nat} to C (only powers of two are supported)"
+            )
+        lhs = nat_to_cexpr(nat.lhs, env)
+        rhs = nat_to_cexpr(nat.rhs, env)
+        return _binary(nat.op, lhs, rhs)
+    raise DescendCodegenError(f"cannot lower nat expression {nat!r}")

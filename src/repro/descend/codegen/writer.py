@@ -1,0 +1,38 @@
+"""A small indented source writer used by the code generators."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class SourceWriter:
+    """Accumulates lines of source code with indentation handling."""
+
+    def __init__(self, indent: str = "    ") -> None:
+        self._lines: List[str] = []
+        self._indent = indent
+        self._level = 0
+
+    def line(self, text: str = "") -> "SourceWriter":
+        if text:
+            self._lines.append(self._indent * self._level + text)
+        else:
+            self._lines.append("")
+        return self
+
+    def open_block(self, header: str) -> "SourceWriter":
+        self.line(header + " {")
+        self._level += 1
+        return self
+
+    def close_block(self, footer: str = "}") -> "SourceWriter":
+        self._level = max(0, self._level - 1)
+        self.line(footer)
+        return self
+
+    def comment(self, text: str) -> "SourceWriter":
+        self.line(f"// {text}")
+        return self
+
+    def source(self) -> str:
+        return "\n".join(self._lines).rstrip() + "\n"

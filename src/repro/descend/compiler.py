@@ -1,0 +1,91 @@
+"""High-level compiler API: the convenient entry point into Descend.
+
+>>> from repro.descend.compiler import compile_source
+>>> compiled = compile_source(source_text)         # parse + type check
+>>> print(compiled.to_cuda().full_source())        # CUDA C++ translation
+>>> kernel = compiled.kernel("transpose")          # launchable on the simulator
+>>> result = kernel.launch(device, {...})
+
+Programs built with :mod:`repro.descend.builder` go through
+:func:`compile_program` instead of :func:`compile_source`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.descend.ast import terms as T
+from repro.descend.ast.printer import print_program
+from repro.descend.codegen import CudaModule, generate_cuda
+from repro.descend.frontend import parse_program
+from repro.descend.interp import DescendKernel, ExecutionResult, HostInterpreter
+from repro.descend.source import SourceFile
+from repro.descend.typeck import check_program
+from repro.descend.typeck.checker import CheckedProgram
+from repro.gpusim import GpuDevice
+
+
+@dataclass
+class CompiledProgram:
+    """A parsed and type-checked Descend program with its back-ends attached."""
+
+    program: T.Program
+    checked: CheckedProgram
+    source: Optional[SourceFile] = None
+
+    # -- code generation ------------------------------------------------------------
+    def to_cuda(self, nat_env: Optional[Dict[str, int]] = None) -> CudaModule:
+        """Translate the program to CUDA C++ source."""
+        return generate_cuda(self.program, nat_env)
+
+    def to_source(self) -> str:
+        """Pretty-print the program back to Descend surface syntax."""
+        return print_program(self.program)
+
+    # -- execution ---------------------------------------------------------------------
+    def kernel(self, name: str) -> DescendKernel:
+        """A launchable handle for one GPU function."""
+        return DescendKernel(self.program, name)
+
+    def run_host(
+        self,
+        fun_name: str,
+        args: Optional[Dict[str, object]] = None,
+        device: Optional[GpuDevice] = None,
+        nat_args: Optional[Dict[str, int]] = None,
+    ) -> ExecutionResult:
+        """Run a CPU (host) function, including the kernels it launches."""
+        interpreter = HostInterpreter(self.program, device)
+        return interpreter.run(fun_name, args, nat_args)
+
+    # -- introspection ------------------------------------------------------------------
+    @property
+    def function_names(self):
+        return tuple(f.name for f in self.program.fun_defs)
+
+    def gpu_function_names(self):
+        return tuple(f.name for f in self.program.gpu_functions())
+
+
+def compile_source(text: str, name: str = "<descend>") -> CompiledProgram:
+    """Parse and type check Descend source text."""
+    source = SourceFile(text, name)
+    program = parse_program(text, name)
+    checked = check_program(program, source)
+    return CompiledProgram(program=program, checked=checked, source=source)
+
+
+def compile_program(program: T.Program) -> CompiledProgram:
+    """Type check a program built with the builder API."""
+    checked = check_program(program)
+    return CompiledProgram(program=program, checked=checked)
+
+
+def compile_file(path: str) -> CompiledProgram:
+    """Parse and type check a ``.descend`` file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return compile_source(text, name=path)

@@ -1,0 +1,13 @@
+"""The Descend surface-syntax frontend: lexer and recursive-descent parser.
+
+The accepted syntax follows the paper's listings; ``parse_program`` turns a
+source string into the same AST the builder API produces, so parsed programs
+flow through the identical type checking / code generation / interpretation
+pipeline.
+"""
+
+from repro.descend.frontend.lexer import Lexer, tokenize
+from repro.descend.frontend.parser import Parser, parse_program
+from repro.descend.frontend.tokens import Token, TokenKind
+
+__all__ = ["Lexer", "tokenize", "Parser", "parse_program", "Token", "TokenKind"]

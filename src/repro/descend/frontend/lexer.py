@@ -1,0 +1,138 @@
+"""The Descend lexer."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.descend.diagnostics import Diagnostic
+from repro.descend.frontend.tokens import Token, TokenKind
+from repro.descend.source import SourceFile
+from repro.errors import DescendSyntaxError
+
+_TWO_CHAR = {
+    "::": TokenKind.COLONCOLON,
+    "..": TokenKind.DOTDOT,
+    "&&": TokenKind.AMPAMP,
+    "||": TokenKind.PIPEPIPE,
+    "==": TokenKind.EQEQ,
+    "!=": TokenKind.NEQ,
+    "<=": TokenKind.LEQ,
+    ">=": TokenKind.GEQ,
+    "->": TokenKind.ARROW,
+    "=>": TokenKind.FATARROW,
+}
+
+_ONE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "<": TokenKind.LANGLE,
+    ">": TokenKind.RANGLE,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+    ":": TokenKind.COLON,
+    ".": TokenKind.DOT,
+    "@": TokenKind.AT,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "^": TokenKind.CARET,
+    "&": TokenKind.AMP,
+    "!": TokenKind.BANG,
+    "=": TokenKind.EQ,
+}
+
+
+class Lexer:
+    """Turns Descend source text into a token stream."""
+
+    def __init__(self, source: SourceFile) -> None:
+        self.source = source
+        self.text = source.text
+        self.pos = 0
+
+    def error(self, message: str, start: int) -> DescendSyntaxError:
+        span = self.source.span(start, max(start + 1, self.pos))
+        return DescendSyntaxError(message, Diagnostic.error("E0000", message, span))
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.text):
+                tokens.append(Token(TokenKind.EOF, "", self.source.span(self.pos, self.pos)))
+                return tokens
+            tokens.append(self._next_token())
+
+    # -- helpers -----------------------------------------------------------------
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char in " \t\r\n":
+                self.pos += 1
+                continue
+            if char == "/" and self.text[self.pos : self.pos + 2] == "//":
+                newline = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if newline == -1 else newline + 1
+                continue
+            if char == "/" and self.text[self.pos : self.pos + 2] == "/*":
+                end = self.text.find("*/", self.pos + 2)
+                if end == -1:
+                    raise self.error("unterminated block comment", self.pos)
+                self.pos = end + 2
+                continue
+            return
+
+    def _next_token(self) -> Token:
+        start = self.pos
+        char = self.text[self.pos]
+
+        if char.isdigit():
+            return self._number(start)
+        if char.isalpha() or char == "_":
+            return self._identifier(start)
+
+        two = self.text[self.pos : self.pos + 2]
+        if two in _TWO_CHAR:
+            # `..` must not eat the dot of a float like `0..4` handled in _number
+            self.pos += 2
+            return Token(_TWO_CHAR[two], two, self.source.span(start, self.pos))
+        if char in _ONE_CHAR:
+            self.pos += 1
+            return Token(_ONE_CHAR[char], char, self.source.span(start, self.pos))
+        raise self.error(f"unexpected character {char!r}", start)
+
+    def _number(self, start: int) -> Token:
+        while self.pos < len(self.text) and self.text[self.pos].isdigit():
+            self.pos += 1
+        is_float = False
+        if (
+            self.pos + 1 < len(self.text)
+            and self.text[self.pos] == "."
+            and self.text[self.pos + 1].isdigit()
+        ):
+            is_float = True
+            self.pos += 1
+            while self.pos < len(self.text) and self.text[self.pos].isdigit():
+                self.pos += 1
+        text = self.text[start : self.pos]
+        kind = TokenKind.FLOAT if is_float else TokenKind.INT
+        return Token(kind, text, self.source.span(start, self.pos))
+
+    def _identifier(self, start: int) -> Token:
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] == "_"
+        ):
+            self.pos += 1
+        text = self.text[start : self.pos]
+        return Token(TokenKind.IDENT, text, self.source.span(start, self.pos))
+
+
+def tokenize(text: str, name: str = "<descend>") -> List[Token]:
+    """Tokenize a source string."""
+    return Lexer(SourceFile(text, name)).tokenize()

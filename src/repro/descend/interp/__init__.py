@@ -1,0 +1,15 @@
+"""Executing Descend programs on the GPU simulator.
+
+* :mod:`repro.descend.interp.values` — runtime values (scalars and
+  buffer-backed memory regions seen through views),
+* :mod:`repro.descend.interp.device` — the per-thread interpreter for GPU
+  functions, packaged as a simulator kernel (barriers become ``yield``),
+* :mod:`repro.descend.interp.host` — the host-side interpreter (heap
+  allocation, host↔device copies, kernel launches) and the convenience API
+  for launching individual GPU functions from Python.
+"""
+
+from repro.descend.interp.device import DescendKernel
+from repro.descend.interp.host import ExecutionResult, HostInterpreter
+
+__all__ = ["DescendKernel", "HostInterpreter", "ExecutionResult"]

@@ -1,0 +1,474 @@
+"""Symbolic natural numbers (the ``nat`` kind of Descend).
+
+Array sizes, view parameters, grid and block dimensions are all natural
+numbers that may be constants, variables bound by polymorphic functions, or
+simple arithmetic over those (Figure 2 / Figure 6 of the paper:
+``η ::= 0 | ... | 9 | n | η + η | η ∗ η | ...``).
+
+The type checker needs to decide equality of such expressions (for example
+"does the launch configuration provide exactly ``n`` threads?") and evaluate
+them once all variables are instantiated (code generation, interpreter).
+
+Normalisation turns a nat expression into a canonical *sum of products* form
+(a polynomial over the nat variables) whenever only ``+``, ``-`` and ``*``
+are involved.  Division and modulo are kept symbolic but simplified when the
+operands are known constants or syntactically equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple, Union
+
+from repro.errors import DescendError
+
+
+class NatError(DescendError):
+    """Raised for invalid nat arithmetic (negative results, division by zero...)."""
+
+
+NatLike = Union["Nat", int, str]
+
+
+class Nat:
+    """Base class of symbolic natural number expressions."""
+
+    __slots__ = ()
+
+    # -- construction helpers -------------------------------------------------
+    def __add__(self, other: NatLike) -> "Nat":
+        return NatBinOp("+", self, as_nat(other))
+
+    def __radd__(self, other: NatLike) -> "Nat":
+        return NatBinOp("+", as_nat(other), self)
+
+    def __sub__(self, other: NatLike) -> "Nat":
+        return NatBinOp("-", self, as_nat(other))
+
+    def __rsub__(self, other: NatLike) -> "Nat":
+        return NatBinOp("-", as_nat(other), self)
+
+    def __mul__(self, other: NatLike) -> "Nat":
+        return NatBinOp("*", self, as_nat(other))
+
+    def __rmul__(self, other: NatLike) -> "Nat":
+        return NatBinOp("*", as_nat(other), self)
+
+    def __floordiv__(self, other: NatLike) -> "Nat":
+        return NatBinOp("/", self, as_nat(other))
+
+    def __truediv__(self, other: NatLike) -> "Nat":
+        return NatBinOp("/", self, as_nat(other))
+
+    def __mod__(self, other: NatLike) -> "Nat":
+        return NatBinOp("%", self, as_nat(other))
+
+    def __pow__(self, other: NatLike) -> "Nat":
+        return NatBinOp("^", self, as_nat(other))
+
+    # -- queries ---------------------------------------------------------------
+    def evaluate(self, env: Optional[Mapping[str, int]] = None) -> int:
+        """Evaluate to a concrete integer; raises :class:`NatError` on unknowns."""
+        raise NotImplementedError
+
+    def free_vars(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, "Nat"]) -> "Nat":
+        """Replace nat variables according to ``mapping``."""
+        raise NotImplementedError
+
+    def is_constant(self) -> bool:
+        return not self.free_vars()
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NatConst(Nat):
+    """A constant natural number."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise NatError(f"natural numbers cannot be negative: {self.value}")
+
+    def evaluate(self, env: Optional[Mapping[str, int]] = None) -> int:
+        return self.value
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def substitute(self, mapping: Mapping[str, Nat]) -> Nat:
+        return self
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    # dataclass(frozen=True) provides __hash__/__eq__
+
+
+@dataclass(frozen=True)
+class NatVar(Nat):
+    """A nat variable bound by a polymorphic function (e.g. ``n: nat``)."""
+
+    name: str
+
+    def evaluate(self, env: Optional[Mapping[str, int]] = None) -> int:
+        if env is not None and self.name in env:
+            return int(env[self.name])
+        raise NatError(f"cannot evaluate nat variable `{self.name}` without a binding")
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def substitute(self, mapping: Mapping[str, Nat]) -> Nat:
+        return mapping.get(self.name, self)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+_VALID_OPS = ("+", "-", "*", "/", "%", "^")
+
+
+@dataclass(frozen=True)
+class NatBinOp(Nat):
+    """A binary arithmetic expression over nats."""
+
+    op: str
+    lhs: Nat
+    rhs: Nat
+
+    def __post_init__(self) -> None:
+        if self.op not in _VALID_OPS:
+            raise NatError(f"unsupported nat operator: {self.op!r}")
+
+    def evaluate(self, env: Optional[Mapping[str, int]] = None) -> int:
+        left = self.lhs.evaluate(env)
+        right = self.rhs.evaluate(env)
+        if self.op == "+":
+            return left + right
+        if self.op == "-":
+            result = left - right
+            if result < 0:
+                raise NatError(f"nat subtraction underflow: {left} - {right}")
+            return result
+        if self.op == "*":
+            return left * right
+        if self.op == "/":
+            if right == 0:
+                raise NatError("division by zero in nat expression")
+            return left // right
+        if self.op == "%":
+            if right == 0:
+                raise NatError("modulo by zero in nat expression")
+            return left % right
+        if self.op == "^":
+            return left ** right
+        raise NatError(f"unsupported nat operator: {self.op!r}")  # pragma: no cover
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.lhs.free_vars() | self.rhs.free_vars()
+
+    def substitute(self, mapping: Mapping[str, Nat]) -> Nat:
+        return NatBinOp(self.op, self.lhs.substitute(mapping), self.rhs.substitute(mapping))
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+def as_nat(value: NatLike) -> Nat:
+    """Coerce an int, str (variable name), or Nat into a :class:`Nat`."""
+    if isinstance(value, Nat):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise NatError("booleans are not natural numbers")
+    if isinstance(value, int):
+        return NatConst(value)
+    if isinstance(value, str):
+        if value.isdigit():
+            return NatConst(int(value))
+        return NatVar(value)
+    raise NatError(f"cannot interpret {value!r} as a natural number")
+
+
+# ---------------------------------------------------------------------------
+# Normalisation: canonical sum-of-products polynomial form
+# ---------------------------------------------------------------------------
+
+# A monomial maps variable-ish keys (strings) to powers; the polynomial maps
+# monomials (as sorted tuples of (key, power)) to rational coefficients.
+Monomial = Tuple[Tuple[str, int], ...]
+Polynomial = Dict[Monomial, Fraction]
+
+_CONST_MONOMIAL: Monomial = ()
+
+
+def _poly_const(value: Union[int, Fraction]) -> Polynomial:
+    if value == 0:
+        return {}
+    return {_CONST_MONOMIAL: Fraction(value)}
+
+
+def _poly_var(key: str) -> Polynomial:
+    return {((key, 1),): Fraction(1)}
+
+
+def _poly_add(a: Polynomial, b: Polynomial, sign: int = 1) -> Polynomial:
+    result: Polynomial = dict(a)
+    for monomial, coeff in b.items():
+        updated = result.get(monomial, Fraction(0)) + sign * coeff
+        if updated == 0:
+            result.pop(monomial, None)
+        else:
+            result[monomial] = updated
+    return result
+
+
+def _mono_mul(a: Monomial, b: Monomial) -> Monomial:
+    powers: Dict[str, int] = {}
+    for key, power in a:
+        powers[key] = powers.get(key, 0) + power
+    for key, power in b:
+        powers[key] = powers.get(key, 0) + power
+    return tuple(sorted(powers.items()))
+
+
+def _poly_mul(a: Polynomial, b: Polynomial) -> Polynomial:
+    result: Polynomial = {}
+    for mono_a, coeff_a in a.items():
+        for mono_b, coeff_b in b.items():
+            mono = _mono_mul(mono_a, mono_b)
+            updated = result.get(mono, Fraction(0)) + coeff_a * coeff_b
+            if updated == 0:
+                result.pop(mono, None)
+            else:
+                result[mono] = updated
+    return result
+
+
+def _to_polynomial(nat: Nat) -> Polynomial:
+    """Convert a nat expression into polynomial form.
+
+    Division and modulo sub-expressions that cannot be folded are treated as
+    opaque atoms: they become fresh polynomial "variables" keyed by their
+    canonical string, which keeps normalisation sound (two syntactically
+    identical opaque terms still compare equal).
+    """
+    if isinstance(nat, NatConst):
+        return _poly_const(nat.value)
+    if isinstance(nat, NatVar):
+        return _poly_var(nat.name)
+    if isinstance(nat, NatBinOp):
+        if nat.op == "+":
+            return _poly_add(_to_polynomial(nat.lhs), _to_polynomial(nat.rhs))
+        if nat.op == "-":
+            return _poly_add(_to_polynomial(nat.lhs), _to_polynomial(nat.rhs), sign=-1)
+        if nat.op == "*":
+            return _poly_mul(_to_polynomial(nat.lhs), _to_polynomial(nat.rhs))
+        if nat.op == "^":
+            return _power_polynomial(nat)
+        if nat.op in ("/", "%"):
+            simplified = _simplify_divmod(nat)
+            if isinstance(simplified, NatBinOp) and simplified.op in ("/", "%"):
+                key = f"⟨{simplified}⟩"
+                return _poly_var(key)
+            return _to_polynomial(simplified)
+    raise NatError(f"cannot normalise nat expression {nat!r}")  # pragma: no cover
+
+
+def _power_polynomial(nat: NatBinOp) -> Polynomial:
+    """Normalise power expressions.
+
+    ``b ^ c`` with constant ``c`` is expanded into repeated multiplication.
+    ``b ^ (e + c)`` with a constant part ``c`` in the exponent is rewritten to
+    ``b^e * b^c`` so that e.g. ``2^(k+1)`` and ``2 * 2^k`` normalise equally.
+    Anything else becomes an opaque atom keyed by its canonical string.
+    """
+    base = normalize(nat.lhs)
+    exponent = normalize(nat.rhs)
+    if isinstance(exponent, NatConst):
+        result = _poly_const(1)
+        base_poly = _to_polynomial(base)
+        for _ in range(exponent.value):
+            result = _poly_mul(result, base_poly)
+        return result
+    # Split a constant offset out of the exponent: b^(e) where e = rest + c.
+    exponent_poly = _to_safe_polynomial(exponent)
+    if exponent_poly is not None and _CONST_MONOMIAL in exponent_poly:
+        const_part = exponent_poly[_CONST_MONOMIAL]
+        if const_part.denominator == 1 and const_part.numerator > 0:
+            rest = dict(exponent_poly)
+            del rest[_CONST_MONOMIAL]
+            rest_nat = _from_polynomial(rest)
+            if rest_nat is not None:
+                reduced = NatBinOp("^", base, rest_nat)
+                result = _to_polynomial(reduced)
+                base_poly = _to_polynomial(base)
+                for _ in range(int(const_part)):
+                    result = _poly_mul(result, base_poly)
+                return result
+    key = f"⟨({base} ^ {exponent})⟩"
+    return _poly_var(key)
+
+
+def _simplify_divmod(nat: NatBinOp) -> Nat:
+    """Best-effort simplification of division/modulo."""
+    lhs = normalize(nat.lhs)
+    rhs = normalize(nat.rhs)
+    if isinstance(rhs, NatConst) and rhs.value == 1:
+        return lhs if nat.op == "/" else NatConst(0)
+    if isinstance(lhs, NatConst) and isinstance(rhs, NatConst):
+        return NatConst(NatBinOp(nat.op, lhs, rhs).evaluate({}))
+    if nat_equal(lhs, rhs):
+        return NatConst(1) if nat.op == "/" else NatConst(0)
+    # (a * k) / k  ->  a   when k is a common constant factor
+    if nat.op == "/" and isinstance(rhs, NatConst) and rhs.value > 0:
+        poly = _to_safe_polynomial(lhs)
+        if poly is not None and all(coeff.denominator == 1 and coeff.numerator % rhs.value == 0 for coeff in poly.values()):
+            scaled = {mono: coeff / rhs.value for mono, coeff in poly.items()}
+            rebuilt = _from_polynomial(scaled)
+            if rebuilt is not None:
+                return rebuilt
+    return NatBinOp(nat.op, lhs, rhs)
+
+
+def _to_safe_polynomial(nat: Nat) -> Optional[Polynomial]:
+    try:
+        return _to_polynomial(nat)
+    except NatError:  # pragma: no cover - defensive
+        return None
+
+
+def _from_polynomial(poly: Polynomial) -> Optional[Nat]:
+    """Rebuild a Nat from a polynomial; returns ``None`` for fractional coefficients."""
+    if not poly:
+        return NatConst(0)
+    terms = []
+    for monomial, coeff in sorted(poly.items()):
+        if coeff.denominator != 1:
+            return None
+        factor: Optional[Nat] = None
+        for key, power in monomial:
+            base = _atom_from_key(key)
+            for _ in range(power):
+                factor = base if factor is None else NatBinOp("*", factor, base)
+        coefficient = int(coeff)
+        if factor is None:
+            term: Nat = NatConst(abs(coefficient))
+        elif abs(coefficient) == 1:
+            term = factor
+        else:
+            term = NatBinOp("*", NatConst(abs(coefficient)), factor)
+        terms.append((coefficient < 0, term))
+    positives = [t for negative, t in terms if not negative]
+    negatives = [t for negative, t in terms if negative]
+    if not positives:
+        return None
+    result = positives[0]
+    for term in positives[1:]:
+        result = NatBinOp("+", result, term)
+    for term in negatives:
+        result = NatBinOp("-", result, term)
+    return result
+
+
+_ATOM_CACHE: Dict[str, Nat] = {}
+
+
+def _atom_from_key(key: str) -> Nat:
+    """Map a polynomial variable key back to a Nat atom."""
+    if key in _ATOM_CACHE:
+        return _ATOM_CACHE[key]
+    return NatVar(key) if not key.startswith("⟨") else NatVar(key)
+
+
+def normalize(nat: NatLike) -> Nat:
+    """Return a canonical form of ``nat``.
+
+    Two expressions that denote the same polynomial normalise to structurally
+    equal Nats, which is how the type checker compares sizes.
+    """
+    nat = as_nat(nat)
+    if isinstance(nat, (NatConst, NatVar)):
+        return nat
+    poly = _to_polynomial(nat)
+    rebuilt = _from_polynomial(poly)
+    if rebuilt is None:
+        return nat
+    return rebuilt
+
+
+def nat_equal(a: NatLike, b: NatLike) -> bool:
+    """Decide (best-effort, sound for polynomials) whether two nats are equal."""
+    a = as_nat(a)
+    b = as_nat(b)
+    if a == b:
+        return True
+    try:
+        poly_a = _to_polynomial(a)
+        poly_b = _to_polynomial(b)
+    except NatError:
+        return False
+    return poly_a == poly_b
+
+
+def nat_known_distinct(a: NatLike, b: NatLike) -> bool:
+    """True when the two nats are *provably* different (used for disjointness)."""
+    a = as_nat(a)
+    b = as_nat(b)
+    if a.is_constant() and b.is_constant():
+        return a.evaluate({}) != b.evaluate({})
+    difference = _poly_add(_to_safe_polynomial(a) or {}, _to_safe_polynomial(b) or {}, sign=-1)
+    # A non-zero constant difference proves distinctness even with variables.
+    if set(difference.keys()) == {_CONST_MONOMIAL} and difference[_CONST_MONOMIAL] != 0:
+        return True
+    return False
+
+
+def nat_divisible(a: NatLike, b: NatLike) -> Optional[bool]:
+    """Check ``a % b == 0``; returns ``None`` when undecidable symbolically."""
+    a = as_nat(a)
+    b = as_nat(b)
+    if a.is_constant() and b.is_constant():
+        divisor = b.evaluate({})
+        if divisor == 0:
+            return None
+        return a.evaluate({}) % divisor == 0
+    if nat_equal(a, b):
+        return True
+    if isinstance(b, NatConst) and b.value > 0:
+        poly = _to_safe_polynomial(a)
+        if poly is not None and all(
+            coeff.denominator == 1 and coeff.numerator % b.value == 0 for coeff in poly.values()
+        ):
+            return True
+    return None
+
+
+def nat_le(a: NatLike, b: NatLike) -> Optional[bool]:
+    """Check ``a <= b``; returns ``None`` when undecidable symbolically."""
+    a = as_nat(a)
+    b = as_nat(b)
+    if a.is_constant() and b.is_constant():
+        return a.evaluate({}) <= b.evaluate({})
+    if nat_equal(a, b):
+        return True
+    return None
+
+
+def evaluate_nat(nat: NatLike, env: Optional[Mapping[str, int]] = None) -> int:
+    """Evaluate a nat expression with the given variable bindings."""
+    return as_nat(nat).evaluate(env or {})
+
+
+def free_nat_vars(nats: Iterable[NatLike]) -> Set[str]:
+    """Union of free variables over a collection of nat expressions."""
+    names: Set[str] = set()
+    for nat in nats:
+        names |= set(as_nat(nat).free_vars())
+    return names

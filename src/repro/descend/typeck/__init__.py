@@ -1,0 +1,34 @@
+"""Descend's type system: extended borrow checking for GPUs.
+
+The package implements the typing judgement of Section 4:
+
+    Δ ; Γg ; Γl ; Θ | e_f : ε ; e | A ⊢ t : δ ⊣ Γl' | A'
+
+* :mod:`repro.descend.typeck.context` — the environments (kinds Δ, globals Γg,
+  locals Γl, loans Θ, the current execution resource, and the access
+  environment A) bundled into a :class:`TypingContext`,
+* :mod:`repro.descend.typeck.place_typing` — the place-expression typing
+  judgement (shape/memory/ownership of a place),
+* :mod:`repro.descend.typeck.overlap` — syntactic disjointness of place
+  expressions,
+* :mod:`repro.descend.typeck.access_check` — ``access_safety_check``: the
+  narrowing check, the access-conflict check, and borrow checking,
+* :mod:`repro.descend.typeck.checker` — the typing rules for every term and
+  whole programs.
+"""
+
+from repro.descend.typeck.checker import TypeChecker, check_program
+from repro.descend.typeck.context import AccessEnv, AccessRecord, Loan, TypingContext, VarInfo
+from repro.descend.typeck.place_typing import PlaceInfo, type_place
+
+__all__ = [
+    "TypeChecker",
+    "check_program",
+    "TypingContext",
+    "VarInfo",
+    "AccessEnv",
+    "AccessRecord",
+    "Loan",
+    "PlaceInfo",
+    "type_place",
+]

@@ -1,0 +1,31 @@
+"""Semantics of Descend views.
+
+A view reshapes an array or reorders its elements without changing the
+underlying memory layout (Section 3.2).  This package implements:
+
+* :mod:`repro.descend.views.registry` — the built-in views (``split``,
+  ``group``, ``transpose``, ``reverse``, ``map``, ``join``) and the composite
+  views used in the paper's examples (``group_by_row``, ``group_by_tile``),
+  each with a shape transformation and an index remapping,
+* :mod:`repro.descend.views.indexing` — :class:`LogicalArray`, the engine that
+  applies chains of views / indices / selects to compute raw element offsets.
+  It is agnostic to the value domain: the interpreter instantiates it with
+  Python ints, the code generator with symbolic CUDA index expressions.
+"""
+
+from repro.descend.views.indexing import LogicalArray, LogicalPair
+from repro.descend.views.registry import (
+    ViewImpl,
+    ViewRegistry,
+    default_registry,
+    resolve_view,
+)
+
+__all__ = [
+    "LogicalArray",
+    "LogicalPair",
+    "ViewImpl",
+    "ViewRegistry",
+    "default_registry",
+    "resolve_view",
+]

@@ -1,0 +1,22 @@
+"""Descend programs: the paper's benchmarks and examples written in Descend.
+
+Every builder function returns a fully concrete :class:`~repro.descend.ast.terms.Program`
+(sizes baked in as nat constants) that type checks and can be
+
+* executed on the GPU simulator through :class:`repro.descend.interp.DescendKernel`, and
+* compiled to CUDA C++ through :mod:`repro.descend.codegen`.
+
+Modules:
+
+* :mod:`repro.descend_programs.vector` — vector scaling (quickstart / §2.3),
+* :mod:`repro.descend_programs.reduce` — block-wide tree reduction,
+* :mod:`repro.descend_programs.transpose` — tiled matrix transposition (Listing 2),
+* :mod:`repro.descend_programs.scan` — two-kernel scan,
+* :mod:`repro.descend_programs.matmul` — tiled matrix multiplication,
+* :mod:`repro.descend_programs.unsafe` — the ill-typed programs of Section 2
+  (each paired with the error code Descend rejects it with).
+"""
+
+from repro.descend_programs import matmul, reduce, scan, transpose, unsafe, vector
+
+__all__ = ["vector", "reduce", "transpose", "scan", "matmul", "unsafe"]

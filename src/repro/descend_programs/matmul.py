@@ -1,0 +1,108 @@
+"""Tiled matrix multiplication in Descend (the MM benchmark).
+
+Every block computes one ``tile × tile`` tile of ``C = A × B``; per phase it
+stages a tile of A and a tile of B in shared memory (distributed over the
+block's threads via selects), synchronises, accumulates the per-thread dot
+product, and synchronises again before the next phase overwrites the staged
+tiles.
+"""
+
+from __future__ import annotations
+
+from repro.descend.builder import *
+from repro.descend.ast import terms as T
+
+
+def build_matmul_kernel(m: int, k: int, n: int, tile: int = 8) -> T.FunDef:
+    """``C[m, n] = A[m, k] × B[k, n]`` with ``tile × tile`` thread blocks."""
+    for size, label in ((m, "m"), (k, "k"), (n, "n")):
+        if size % tile != 0:
+            raise ValueError(f"{label} must be divisible by the tile size")
+
+    a_elem = (
+        var("a")
+        .view("group_by_tile", tile, tile)
+        .select("brow")
+        .idx("p")
+        .select("ty")
+        .select("tx")
+    )
+    b_elem = (
+        var("b")
+        .view("group_by_tile", tile, tile)
+        .idx("p")
+        .select("bcol")
+        .select("ty")
+        .select("tx")
+    )
+    c_elem = (
+        var("c")
+        .view("group_by_tile", tile, tile)
+        .select("brow")
+        .select("bcol")
+        .select("ty")
+        .select("tx")
+    )
+
+    phase_body = [
+        assign(var("a_tile").select("ty").select("tx"), read(a_elem)),
+        assign(var("b_tile").select("ty").select("tx"), read(b_elem)),
+        sync(),
+        for_nat(
+            "kk",
+            0,
+            tile,
+            assign(
+                var("acc"),
+                add(
+                    read(var("acc")),
+                    mul(
+                        read(var("a_tile").select("ty").idx("kk")),
+                        read(var("b_tile").idx("kk").select("tx")),
+                    ),
+                ),
+            ),
+        ),
+        sync(),
+    ]
+
+    return fun(
+        "matmul",
+        [
+            param("a", shared_ref(GPU_GLOBAL, array2d(F64, m, k))),
+            param("b", shared_ref(GPU_GLOBAL, array2d(F64, k, n))),
+            param("c", uniq_ref(GPU_GLOBAL, array2d(F64, m, n))),
+        ],
+        gpu_grid_spec("grid", dim_xy(n // tile, m // tile), dim_xy(tile, tile)),
+        body(
+            sched(
+                "Y",
+                "brow",
+                "grid",
+                sched(
+                    "X",
+                    "bcol",
+                    "brow",
+                    let("a_tile", alloc_shared(array2d(F64, tile, tile))),
+                    let("b_tile", alloc_shared(array2d(F64, tile, tile))),
+                    sched(
+                        "Y",
+                        "ty",
+                        "bcol",
+                        sched(
+                            "X",
+                            "tx",
+                            "ty",
+                            let("acc", lit_f64(0.0)),
+                            for_nat("p", 0, k // tile, *phase_body),
+                            assign(c_elem, read(var("acc"))),
+                        ),
+                    ),
+                ),
+            )
+        ),
+    )
+
+
+def build_matmul_program(m: int = 32, k: int = 32, n: int = 32, tile: int = 8) -> T.Program:
+    return program(build_matmul_kernel(m, k, n, tile))

@@ -1,0 +1,171 @@
+"""Two-kernel inclusive scan in Descend.
+
+Kernel 1 (``scan_blocks``): every thread sequentially scans its own chunk of
+``elems_per_thread`` elements into the output, the per-thread totals are
+scanned in shared memory by a single thread of the block (obtained by
+splitting the block at 1), the block's total sum is written out, and finally
+every thread adds its exclusive offset to its chunk.
+
+Between the kernels the host performs an exclusive scan over the (small)
+array of per-block sums.
+
+Kernel 2 (``add_offsets``): every thread adds its block's offset to its
+chunk, completing the global scan.  The harness measures kernel 1 + kernel 2,
+as the paper does.
+"""
+
+from __future__ import annotations
+
+from repro.descend.builder import *
+from repro.descend.ast import terms as T
+
+
+def _chunk_elem(root: str, chunk: int, elems_per_thread: int):
+    """``root.group::<chunk>[[block]].group::<elems_per_thread>[[thread]][j]``."""
+    return (
+        var(root)
+        .view("group", chunk)
+        .select("block")
+        .view("group", elems_per_thread)
+        .select("thread")
+        .idx("j")
+    )
+
+
+def build_scan_kernel(n: int, block_size: int, elems_per_thread: int) -> T.FunDef:
+    """Kernel 1: per-block scan with per-thread sequential chunks."""
+    chunk = block_size * elems_per_thread
+    if n % chunk != 0:
+        raise ValueError("n must be divisible by block_size * elems_per_thread")
+    num_blocks = n // chunk
+
+    phase1 = sched(
+        "X",
+        "thread",
+        "block",
+        let("running", lit_f64(0.0)),
+        for_nat(
+            "j",
+            0,
+            elems_per_thread,
+            assign(
+                var("running"),
+                add(read(var("running")), read(_chunk_elem("input", chunk, elems_per_thread))),
+            ),
+            assign(_chunk_elem("output", chunk, elems_per_thread), read(var("running"))),
+        ),
+        assign(var("sums").select("thread"), read(var("running"))),
+    )
+
+    phase2 = split_exec(
+        "X",
+        "block",
+        1,
+        (
+            "first",
+            block(
+                sched(
+                    "X",
+                    "t",
+                    "first",
+                    let("acc", lit_f64(0.0)),
+                    for_nat(
+                        "i",
+                        0,
+                        block_size,
+                        let("value", read(var("sums").idx("i"))),
+                        assign(var("sums").idx("i"), read(var("acc"))),
+                        assign(var("acc"), add(read(var("acc")), read(var("value")))),
+                    ),
+                    assign(var("block_sums").select("block"), read(var("acc"))),
+                )
+            ),
+        ),
+        ("rest", block()),
+    )
+
+    phase3 = sched(
+        "X",
+        "thread",
+        "block",
+        for_nat(
+            "j",
+            0,
+            elems_per_thread,
+            assign(
+                _chunk_elem("output", chunk, elems_per_thread),
+                add(
+                    read(_chunk_elem("output", chunk, elems_per_thread)),
+                    read(var("sums").select("thread")),
+                ),
+            ),
+        ),
+    )
+
+    return fun(
+        "scan_blocks",
+        [
+            param("input", shared_ref(GPU_GLOBAL, array(F64, n))),
+            param("output", uniq_ref(GPU_GLOBAL, array(F64, n))),
+            param("block_sums", uniq_ref(GPU_GLOBAL, array(F64, num_blocks))),
+        ],
+        gpu_grid_spec("grid", dim_x(num_blocks), dim_x(block_size)),
+        body(
+            sched(
+                "X",
+                "block",
+                "grid",
+                let("sums", alloc_shared(array(F64, block_size))),
+                phase1,
+                sync(),
+                phase2,
+                sync(),
+                phase3,
+            )
+        ),
+    )
+
+
+def build_add_offsets_kernel(n: int, block_size: int, elems_per_thread: int) -> T.FunDef:
+    """Kernel 2: add each block's exclusive offset to its chunk of the output."""
+    chunk = block_size * elems_per_thread
+    num_blocks = n // chunk
+    return fun(
+        "add_offsets",
+        [
+            param("output", uniq_ref(GPU_GLOBAL, array(F64, n))),
+            param("offsets", shared_ref(GPU_GLOBAL, array(F64, num_blocks))),
+        ],
+        gpu_grid_spec("grid", dim_x(num_blocks), dim_x(block_size)),
+        body(
+            sched(
+                "X",
+                "block",
+                "grid",
+                sched(
+                    "X",
+                    "thread",
+                    "block",
+                    for_nat(
+                        "j",
+                        0,
+                        elems_per_thread,
+                        assign(
+                            _chunk_elem("output", chunk, elems_per_thread),
+                            add(
+                                read(_chunk_elem("output", chunk, elems_per_thread)),
+                                read(var("offsets").select("block")),
+                            ),
+                        ),
+                    ),
+                ),
+            )
+        ),
+    )
+
+
+def build_scan_program(n: int = 1024, block_size: int = 32, elems_per_thread: int = 4) -> T.Program:
+    return program(
+        build_scan_kernel(n, block_size, elems_per_thread),
+        build_add_offsets_kernel(n, block_size, elems_per_thread),
+    )

@@ -1,0 +1,275 @@
+"""The ill-typed programs of Section 2: each paired with the error that rejects it.
+
+Every builder returns a :class:`~repro.descend.ast.terms.Program` that the
+type checker must *reject*; :data:`UNSAFE_PROGRAMS` maps a short name to the
+builder and the expected error code, and is used by the tests and by
+``examples/safety_errors.py`` to regenerate the paper's error listings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.descend.builder import *
+from repro.descend.ast import terms as T
+
+
+def build_rev_per_block_race(n: int = 256, block_size: int = 32) -> T.Program:
+    """Section 2.2 — ``rev_per_block``: reading the reversed block while writing it.
+
+    Expected rejection: E0001 (conflicting memory access).
+    """
+    num_blocks = n // block_size
+    write_elem = var("arr").view("group", block_size).select("block").select("thread")
+    read_elem = var("arr").view("group", block_size).select("block").view("rev").select("thread")
+    kernel = fun(
+        "rev_per_block",
+        [param("arr", uniq_ref(GPU_GLOBAL, array(F64, n)))],
+        gpu_grid_spec("grid", dim_x(num_blocks), dim_x(block_size)),
+        body(
+            sched(
+                "X",
+                "block",
+                "grid",
+                sched("X", "thread", "block", assign(write_elem, read(read_elem))),
+            )
+        ),
+    )
+    return program(kernel)
+
+
+def build_barrier_in_split(block_size: int = 64) -> T.Program:
+    """Section 2.2 — a barrier executed by only the first 32 threads of a block.
+
+    Expected rejection: E0002 (barrier not allowed here).
+    """
+    kernel = fun(
+        "kernel",
+        [param("arr", uniq_ref(GPU_GLOBAL, array(F64, 1024)))],
+        gpu_grid_spec("grid", dim_x(16), dim_x(block_size)),
+        body(
+            sched(
+                "X",
+                "block",
+                "grid",
+                split_exec(
+                    "X",
+                    "block",
+                    32,
+                    ("first_32_threads", block(sync())),
+                    ("rest", block()),
+                ),
+            )
+        ),
+    )
+    return program(kernel)
+
+
+def build_swapped_copy_args(n: int = 256) -> T.Program:
+    """Section 2.3 — ``copy_mem_to_host`` with destination and source swapped.
+
+    Expected rejection: E0003 (mismatched types / memory spaces).
+    """
+    host = fun(
+        "host_fun",
+        [param("h_vec", uniq_ref(CPU_MEM, array(F64, n)))],
+        cpu_spec("t"),
+        body(
+            let("d_vec", gpu_alloc_copy(borrow(var("h_vec").deref()))),
+            # swapped: the GPU buffer is passed as the destination's *source* side
+            copy_to_host(uniq_borrow(var("d_vec").deref()), borrow(var("h_vec").deref())),
+        ),
+    )
+    return program(host)
+
+
+def build_cpu_pointer_on_gpu(n: int = 256, block_size: int = 32) -> T.Program:
+    """Section 2.3 — a GPU kernel dereferencing a pointer into CPU memory.
+
+    Expected rejection: E0004 (cannot dereference `cpu.mem` on the GPU).
+    """
+    num_blocks = n // block_size
+    kernel = fun(
+        "init_kernel",
+        [param("vec", uniq_ref(CPU_MEM, array(F64, n)))],
+        gpu_grid_spec("grid", dim_x(num_blocks), dim_x(block_size)),
+        body(
+            sched(
+                "X",
+                "block",
+                "grid",
+                sched(
+                    "X",
+                    "thread",
+                    "block",
+                    assign(
+                        var("vec").deref().view("group", block_size).select("block").select("thread"),
+                        lit_f64(1.0),
+                    ),
+                ),
+            )
+        ),
+    )
+    return program(kernel)
+
+
+def build_wrong_launch_config(n: int = 1024, block_size: int = 64) -> T.Program:
+    """Section 2.3 — launching ``scale_vec`` with the wrong grid shape.
+
+    Expected rejection: E0005 (mismatched launch configuration).
+    """
+    num_blocks = n // block_size
+    elem = var("vec").view("group", block_size).select("block").select("thread")
+    kernel = fun(
+        "scale_vec",
+        [param("vec", uniq_ref(GPU_GLOBAL, array(F64, n)))],
+        gpu_grid_spec("grid", dim_x(num_blocks), dim_x(block_size)),
+        body(
+            sched(
+                "X",
+                "block",
+                "grid",
+                sched("X", "thread", "block", assign(elem, mul(read(elem), lit_f64(3.0)))),
+            )
+        ),
+    )
+    host = fun(
+        "host_fun",
+        [param("h_vec", uniq_ref(CPU_MEM, array(F64, n)))],
+        cpu_spec("t"),
+        body(
+            let("d_vec", gpu_alloc_copy(borrow(var("h_vec").deref()))),
+            # wrong: one block of `n` threads instead of `num_blocks` x `block_size`
+            launch("scale_vec", dim_x(1), dim_x(n), uniq_borrow(var("d_vec").deref())),
+        ),
+    )
+    return program(kernel, host)
+
+
+def build_wrong_vector_size(n: int = 1024, block_size: int = 64) -> T.Program:
+    """Section 2.3 — launching with a vector whose size does not match the kernel.
+
+    Expected rejection: E0005 (mismatched types on the kernel argument).
+    """
+    num_blocks = n // block_size
+    elem = var("vec").view("group", block_size).select("block").select("thread")
+    kernel = fun(
+        "scale_vec",
+        [param("vec", uniq_ref(GPU_GLOBAL, array(F64, n)))],
+        gpu_grid_spec("grid", dim_x(num_blocks), dim_x(block_size)),
+        body(
+            sched(
+                "X",
+                "block",
+                "grid",
+                sched("X", "thread", "block", assign(elem, mul(read(elem), lit_f64(3.0)))),
+            )
+        ),
+    )
+    host = fun(
+        "host_fun",
+        [param("h_vec", uniq_ref(CPU_MEM, array(F64, 2 * n)))],
+        cpu_spec("t"),
+        body(
+            let("d_vec", gpu_alloc_copy(borrow(var("h_vec").deref()))),
+            launch(
+                "scale_vec",
+                dim_x(num_blocks),
+                dim_x(block_size),
+                uniq_borrow(var("d_vec").deref()),
+            ),
+        ),
+    )
+    return program(kernel, host)
+
+
+def build_borrow_narrowing_violation() -> T.Program:
+    """Section 3.3 — borrowing the whole array uniquely after scheduling blocks.
+
+    Expected rejection: E0006 (narrowing violated).
+    """
+    kernel = fun(
+        "kernel",
+        [param("arr", uniq_ref(GPU_GLOBAL, array(F32, 1024)))],
+        gpu_grid_spec("grid", dim_x(32), dim_x(32)),
+        body(
+            sched("X", "block", "grid", let("in_borrow", uniq_borrow(var("arr").deref()))),
+        ),
+    )
+    return program(kernel)
+
+
+def build_select_narrowing_violation() -> T.Program:
+    """Section 3.3 — selecting per thread without first narrowing per block.
+
+    Expected rejection: E0006 (narrowing violated).
+    """
+    kernel = fun(
+        "kernel",
+        [param("arr", uniq_ref(GPU_GLOBAL, array(F32, 1024)))],
+        gpu_grid_spec("grid", dim_x(32), dim_x(32)),
+        body(
+            sched(
+                "X",
+                "block",
+                "grid",
+                sched(
+                    "X",
+                    "thread",
+                    "block",
+                    let("grp", uniq_borrow(var("arr").view("group", 32).select("thread"))),
+                ),
+            )
+        ),
+    )
+    return program(kernel)
+
+
+def build_missing_sync(n: int = 256, block_size: int = 32) -> T.Program:
+    """Transpose-like kernel with the barrier removed.
+
+    Expected rejection: E0001 (conflicting memory access).
+    """
+    num_blocks = n // block_size
+    kernel = fun(
+        "kernel",
+        [param("arr", uniq_ref(GPU_GLOBAL, array(F64, n)))],
+        gpu_grid_spec("grid", dim_x(num_blocks), dim_x(block_size)),
+        body(
+            sched(
+                "X",
+                "block",
+                "grid",
+                let("tmp", alloc_shared(array(F64, block_size))),
+                sched(
+                    "X",
+                    "thread",
+                    "block",
+                    assign(
+                        var("tmp").select("thread"),
+                        read(var("arr").view("group", block_size).select("block").select("thread")),
+                    ),
+                    # missing `sync` here
+                    assign(
+                        var("arr").view("group", block_size).select("block").select("thread"),
+                        read(var("tmp").view("rev").select("thread")),
+                    ),
+                ),
+            )
+        ),
+    )
+    return program(kernel)
+
+
+#: name -> (builder, expected error code)
+UNSAFE_PROGRAMS: Dict[str, Tuple[Callable[[], T.Program], str]] = {
+    "rev_per_block_race": (build_rev_per_block_race, "E0001"),
+    "barrier_in_split": (build_barrier_in_split, "E0002"),
+    "swapped_copy_args": (build_swapped_copy_args, "E0003"),
+    "cpu_pointer_on_gpu": (build_cpu_pointer_on_gpu, "E0004"),
+    "wrong_launch_config": (build_wrong_launch_config, "E0005"),
+    "wrong_vector_size": (build_wrong_vector_size, "E0005"),
+    "borrow_narrowing_violation": (build_borrow_narrowing_violation, "E0006"),
+    "select_narrowing_violation": (build_select_narrowing_violation, "E0006"),
+    "missing_sync": (build_missing_sync, "E0001"),
+}

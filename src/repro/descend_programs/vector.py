@@ -1,0 +1,103 @@
+"""Vector scaling in Descend (the ``scale_vec`` example of Section 2.3).
+
+Contains both the GPU function and a host function that allocates GPU memory,
+copies the data, launches the kernel with the matching configuration, and
+copies the result back — the full heterogeneous pipeline of the paper's
+holistic programming model.
+"""
+
+from __future__ import annotations
+
+from repro.descend.builder import *
+from repro.descend.ast import terms as T
+
+
+def element_place(vec: str, block_size: int):
+    """``vec.group::<block_size>[[block]][[thread]]`` — one element per thread."""
+    return var(vec).view("group", block_size).select("block").select("thread")
+
+
+def build_scale_kernel(n: int, block_size: int, factor: float = 3.0) -> T.FunDef:
+    """The GPU function: every thread scales one element of the vector."""
+    if n % block_size != 0:
+        raise ValueError("n must be divisible by block_size")
+    num_blocks = n // block_size
+    return fun(
+        "scale_vec",
+        [param("vec", uniq_ref(GPU_GLOBAL, array(F64, n)))],
+        gpu_grid_spec("grid", dim_x(num_blocks), dim_x(block_size)),
+        body(
+            sched(
+                "X",
+                "block",
+                "grid",
+                sched(
+                    "X",
+                    "thread",
+                    "block",
+                    assign(
+                        element_place("vec", block_size),
+                        mul(read(element_place("vec", block_size)), lit_f64(factor)),
+                    ),
+                ),
+            )
+        ),
+    )
+
+
+def build_host_scale(n: int, block_size: int) -> T.FunDef:
+    """The host function: allocate, copy, launch, copy back."""
+    num_blocks = n // block_size
+    return fun(
+        "host_scale",
+        [param("h_vec", uniq_ref(CPU_MEM, array(F64, n)))],
+        cpu_spec("t"),
+        body(
+            let("d_vec", gpu_alloc_copy(borrow(var("h_vec").deref()))),
+            launch(
+                "scale_vec",
+                dim_x(num_blocks),
+                dim_x(block_size),
+                uniq_borrow(var("d_vec").deref()),
+            ),
+            copy_to_host(uniq_borrow(var("h_vec").deref()), borrow(var("d_vec").deref())),
+        ),
+    )
+
+
+def build_scale_program(n: int = 1024, block_size: int = 64, factor: float = 3.0) -> T.Program:
+    """The whole program: GPU kernel plus host pipeline."""
+    return program(build_scale_kernel(n, block_size, factor), build_host_scale(n, block_size))
+
+
+def build_saxpy_kernel(n: int, block_size: int) -> T.FunDef:
+    """``y[i] = alpha * x[i] + y[i]`` — a second element-wise example."""
+    num_blocks = n // block_size
+    y_elem = var("y").view("group", block_size).select("block").select("thread")
+    x_elem = var("x").view("group", block_size).select("block").select("thread")
+    return fun(
+        "saxpy",
+        [
+            param("y", uniq_ref(GPU_GLOBAL, array(F64, n))),
+            param("x", shared_ref(GPU_GLOBAL, array(F64, n))),
+            param("alpha", F64),
+        ],
+        gpu_grid_spec("grid", dim_x(num_blocks), dim_x(block_size)),
+        body(
+            sched(
+                "X",
+                "block",
+                "grid",
+                sched(
+                    "X",
+                    "thread",
+                    "block",
+                    assign(y_elem, add(mul(read(var("alpha")), read(x_elem)), read(y_elem))),
+                ),
+            )
+        ),
+    )
+
+
+def build_saxpy_program(n: int = 1024, block_size: int = 64) -> T.Program:
+    return program(build_saxpy_kernel(n, block_size))

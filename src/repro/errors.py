@@ -1,0 +1,78 @@
+"""Top-level exception hierarchy shared by all repro subsystems.
+
+Every error raised by the Descend compiler or the GPU simulator derives from
+:class:`ReproError` so that applications embedding the library can catch a
+single exception type.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class DescendError(ReproError):
+    """Base class for errors raised by the Descend compiler."""
+
+
+class DescendSyntaxError(DescendError):
+    """Raised by the lexer or parser on malformed source code."""
+
+    def __init__(self, message: str, diagnostic=None):
+        super().__init__(message)
+        self.diagnostic = diagnostic
+
+
+class DescendTypeError(DescendError):
+    """Raised by the type checker when a program violates Descend's rules.
+
+    The attached :attr:`diagnostic` carries the error code, primary span and
+    labels used to render the rustc-style error messages shown in the paper.
+    """
+
+    def __init__(self, message: str, diagnostic=None):
+        super().__init__(message)
+        self.diagnostic = diagnostic
+
+    @property
+    def code(self) -> str:
+        if self.diagnostic is not None:
+            return self.diagnostic.code
+        return ""
+
+
+class DescendCodegenError(DescendError):
+    """Raised when code generation encounters an unsupported construct."""
+
+
+class DescendRuntimeError(DescendError):
+    """Raised by the Descend interpreter when executing a program fails."""
+
+
+class GpuSimError(ReproError):
+    """Base class for errors raised by the GPU simulator substrate."""
+
+
+class DeviceMemoryError(GpuSimError):
+    """Invalid device memory operation (bad handle, out-of-bounds access...)."""
+
+
+class LaunchConfigurationError(GpuSimError):
+    """A kernel launch used an invalid grid/block configuration."""
+
+
+class BarrierDivergenceError(GpuSimError):
+    """Threads of one block did not all reach the same barrier."""
+
+
+class DataRaceError(GpuSimError):
+    """The dynamic race detector observed conflicting accesses."""
+
+    def __init__(self, message: str, races=None):
+        super().__init__(message)
+        self.races = list(races or [])
+
+
+class BenchmarkError(ReproError):
+    """Raised by the benchmark harness on invalid configurations."""

@@ -1,0 +1,165 @@
+"""The analytic cost model of the GPU simulator.
+
+The benchmark harness (Figure 8) compares *relative* kernel runtimes of
+Descend-generated code against handwritten CUDA.  We therefore need a cost
+model that rewards/punishes the same things real GPUs do, so that differences
+in access patterns show up:
+
+* **global memory**: accesses are grouped per warp and per static program
+  position; each group costs one transaction per 128-byte segment touched
+  (perfectly coalesced accesses of a 32-thread warp to consecutive 4/8-byte
+  elements need 1–2 transactions, strided or transposed accesses up to 32),
+* **shared memory**: per warp and program position, the cost is the maximum
+  number of distinct addresses that map to the same of the 32 banks
+  (bank-conflict serialisation),
+* **arithmetic**: counted per thread and divided by the warp width,
+* **barriers**: a fixed cost per barrier per block.
+
+The absolute numbers are synthetic; the *ratios* between two kernels with the
+same access patterns are ≈ 1, which is the property Figure 8 reports.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import DefaultDict, Dict, Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Latency/throughput parameters of the synthetic device (in cycles)."""
+
+    global_transaction_cost: float = 32.0
+    global_segment_bytes: int = 128
+    shared_access_cost: float = 2.0
+    shared_banks: int = 32
+    shared_bank_width: int = 4
+    arithmetic_cost: float = 1.0
+    barrier_cost: float = 16.0
+    launch_overhead: float = 500.0
+    warp_size: int = 32
+    #: how many memory transactions the device can overlap (memory parallelism)
+    memory_parallelism: float = 8.0
+    #: how many warps execute concurrently (compute parallelism)
+    compute_parallelism: float = 16.0
+
+
+@dataclass
+class MemoryAccess:
+    """One recorded memory access (already reduced to what the model needs)."""
+
+    block: int
+    warp: int
+    slot: int
+    address: int
+    is_write: bool
+    space: str
+
+
+@dataclass
+class KernelCost:
+    """Aggregated cost of one kernel launch."""
+
+    global_transactions: int = 0
+    global_accesses: int = 0
+    shared_cycles: float = 0.0
+    shared_accesses: int = 0
+    arithmetic_ops: int = 0
+    barriers: int = 0
+    blocks: int = 0
+    threads_per_block: int = 0
+    cycles: float = 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "cycles": self.cycles,
+            "global_transactions": self.global_transactions,
+            "global_accesses": self.global_accesses,
+            "shared_accesses": self.shared_accesses,
+            "shared_cycles": self.shared_cycles,
+            "arithmetic_ops": self.arithmetic_ops,
+            "barriers": self.barriers,
+        }
+
+
+class CostModel:
+    """Accumulates memory accesses / arithmetic and converts them into cycles."""
+
+    def __init__(self, params: CostParameters = CostParameters()) -> None:
+        self.params = params
+        self._global: DefaultDict[Tuple[int, int, int], List[MemoryAccess]] = defaultdict(list)
+        self._shared: DefaultDict[Tuple[int, int, int], List[MemoryAccess]] = defaultdict(list)
+        self._arithmetic = 0
+        self._barriers = 0
+
+    # -- recording -------------------------------------------------------------
+    def record_access(self, access: MemoryAccess) -> None:
+        key = (access.block, access.warp, access.slot)
+        if access.space == "global":
+            self._global[key].append(access)
+        elif access.space == "shared":
+            self._shared[key].append(access)
+        # private/local accesses are register-like: folded into arithmetic cost
+        else:
+            self._arithmetic += 1
+
+    def record_arithmetic(self, count: int = 1) -> None:
+        self._arithmetic += count
+
+    def record_barrier(self, count: int = 1) -> None:
+        self._barriers += count
+
+    # -- evaluation --------------------------------------------------------------
+    def _global_transactions(self) -> int:
+        transactions = 0
+        segment = self.params.global_segment_bytes
+        for accesses in self._global.values():
+            segments = {access.address // segment for access in accesses}
+            transactions += len(segments)
+        return transactions
+
+    def _shared_cycles(self) -> float:
+        cycles = 0.0
+        banks = self.params.shared_banks
+        width = self.params.shared_bank_width
+        for accesses in self._shared.values():
+            per_bank: DefaultDict[int, set] = defaultdict(set)
+            for access in accesses:
+                bank = (access.address // width) % banks
+                per_bank[bank].add(access.address)
+            conflict_factor = max((len(addresses) for addresses in per_bank.values()), default=0)
+            cycles += self.params.shared_access_cost * max(conflict_factor, 1 if accesses else 0)
+        return cycles
+
+    def finalize(self, blocks: int, threads_per_block: int) -> KernelCost:
+        """Convert the recorded events into a kernel cost estimate."""
+        params = self.params
+        global_transactions = self._global_transactions()
+        shared_cycles = self._shared_cycles()
+        global_accesses = sum(len(v) for v in self._global.values())
+        shared_accesses = sum(len(v) for v in self._shared.values())
+
+        global_cycles = global_transactions * params.global_transaction_cost / params.memory_parallelism
+        arithmetic_cycles = (
+            self._arithmetic * params.arithmetic_cost / (params.warp_size * params.compute_parallelism)
+        )
+        barrier_cycles = self._barriers * params.barrier_cost
+        cycles = (
+            params.launch_overhead
+            + global_cycles
+            + shared_cycles / params.compute_parallelism
+            + arithmetic_cycles
+            + barrier_cycles
+        )
+        return KernelCost(
+            global_transactions=global_transactions,
+            global_accesses=global_accesses,
+            shared_cycles=shared_cycles,
+            shared_accesses=shared_accesses,
+            arithmetic_ops=self._arithmetic,
+            barriers=self._barriers,
+            blocks=blocks,
+            threads_per_block=threads_per_block,
+            cycles=cycles,
+        )

@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GpuDevice
+
+
+@pytest.fixture
+def device() -> GpuDevice:
+    """A fresh simulated GPU device."""
+    return GpuDevice()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for test data."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,94 @@
+"""Tests for the benchmark harness (Figure 8 and the ablations)."""
+
+import math
+
+import pytest
+
+from repro.benchsuite import BENCHMARKS, SIZES, run_benchmark_pair, workload
+from repro.benchsuite.ablation import coalescing_ablation, typecheck_cost
+from repro.benchsuite.figure8 import Figure8Result, Figure8Row, run_figure8
+from repro.benchsuite.report import format_bytes, format_table
+from repro.benchsuite.workloads import all_workloads
+from repro.errors import BenchmarkError
+
+
+class TestWorkloads:
+    def test_all_cells_of_figure8_are_defined(self):
+        workloads = all_workloads()
+        assert len(workloads) == len(BENCHMARKS) * len(SIZES)
+
+    def test_sizes_grow_monotonically(self):
+        for benchmark in BENCHMARKS:
+            footprints = [workload(benchmark, size).footprint_bytes() for size in SIZES]
+            assert footprints == sorted(footprints)
+            assert footprints[0] < footprints[-1]
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(BenchmarkError):
+            workload("sort", "small")
+
+    def test_unknown_size(self):
+        with pytest.raises(BenchmarkError):
+            workload("reduce", "huge")
+
+    def test_labels(self):
+        assert workload("reduce", "small").label == "reduce/small"
+
+
+class TestRunner:
+    @pytest.mark.parametrize("bench_name", BENCHMARKS)
+    def test_small_cells_run_and_match(self, bench_name):
+        run = run_benchmark_pair(bench_name, "small")
+        assert run.cuda.correct and run.descend.correct
+        assert run.cuda.races == 0 and run.descend.races == 0
+        # the paper's headline result: Descend performs like handwritten CUDA
+        assert run.relative_runtime == pytest.approx(1.0, rel=0.10)
+
+    def test_relative_runtime_definition(self):
+        run = run_benchmark_pair("transpose", "small")
+        assert run.relative_runtime == pytest.approx(run.descend.cycles / run.cuda.cycles)
+
+
+class TestFigure8:
+    def test_partial_sweep_and_mean(self):
+        result = run_figure8(benchmarks=("transpose",), sizes=("small",))
+        assert len(result.rows) == 1
+        assert 0.8 < result.geometric_mean < 1.2
+        table = result.to_table()
+        assert "transpose" in table and "geometric mean" in table
+        payload = result.as_dict()
+        assert payload["rows"][0]["benchmark"] == "transpose"
+
+    def test_geometric_mean_formula(self):
+        result = Figure8Result(
+            rows=[
+                Figure8Row("a", "small", 1.0, 2.0, 2.0, 8),
+                Figure8Row("b", "small", 1.0, 0.5, 0.5, 8),
+            ]
+        )
+        assert result.geometric_mean == pytest.approx(math.sqrt(2.0 * 0.5))
+
+
+class TestAblations:
+    def test_typecheck_cost_reports_all_programs(self):
+        timings = typecheck_cost(repeats=1)
+        assert {t.program for t in timings} == {"scale_vec", "reduce", "transpose", "scan", "matmul"}
+        assert all(t.seconds >= 0 for t in timings)
+
+    def test_coalescing_ablation_tiled_wins(self):
+        result = coalescing_ablation(matrix_size=32, tile=16, rows=4)
+        assert result.naive_transactions > result.tiled_transactions
+        assert result.speedup > 1.0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], ["xx", 3]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512.0 B"
+        assert format_bytes(2048) == "2.0 KiB"
+        assert "MiB" in format_bytes(8 * 1024 * 1024)

@@ -1,0 +1,75 @@
+"""Tests for the `descendc` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+GOOD_SOURCE = """
+fn scale_vec(vec: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            vec.group::<32>[[block]][[thread]] = vec.group::<32>[[block]][[thread]] * 3.0
+        }
+    }
+}
+"""
+
+# data race: every thread writes element 0 of its block's group
+BAD_SOURCE = """
+fn broken(vec: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            vec.group::<32>[[block]][0] = 1.0
+        }
+    }
+}
+"""
+
+
+@pytest.fixture
+def good_file(tmp_path):
+    path = tmp_path / "good.descend"
+    path.write_text(GOOD_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad.descend"
+    path.write_text(BAD_SOURCE)
+    return str(path)
+
+
+def test_check_accepts_good_program(good_file, capsys):
+    assert main(["check", good_file]) == 0
+    assert "type checks" in capsys.readouterr().out
+
+
+def test_check_rejects_bad_program(bad_file, capsys):
+    assert main(["check", bad_file]) == 1
+    err = capsys.readouterr().err
+    assert "error[" in err
+
+
+def test_compile_prints_cuda(good_file, capsys):
+    assert main(["compile", good_file]) == 0
+    out = capsys.readouterr().out
+    assert "__global__ void scale_vec" in out
+
+
+def test_compile_to_output_file(good_file, tmp_path, capsys):
+    out_path = tmp_path / "out.cu"
+    assert main(["compile", good_file, "-o", str(out_path)]) == 0
+    assert "__global__" in out_path.read_text()
+
+
+def test_print_roundtrips_surface_syntax(good_file, capsys):
+    assert main(["print", good_file]) == 0
+    assert "fn scale_vec" in capsys.readouterr().out
+
+
+def test_syntax_error_is_reported(tmp_path, capsys):
+    path = tmp_path / "broken.descend"
+    path.write_text("fn oops(")
+    assert main(["check", str(path)]) == 1
+    assert "error" in capsys.readouterr().err

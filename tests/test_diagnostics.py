@@ -1,0 +1,74 @@
+"""Tests for source files, spans, and diagnostic rendering."""
+
+from repro.descend.diagnostics import Diagnostic, DiagnosticBag
+from repro.descend.source import NO_SPAN, SourceFile, Span
+
+
+class TestSourceFile:
+    def test_line_col(self):
+        source = SourceFile("fn foo() {\n    sync\n}\n", "test.descend")
+        assert source.line_col(0) == (1, 1)
+        assert source.line_col(11) == (2, 1)
+        assert source.line_col(15) == (2, 5)
+
+    def test_line_text(self):
+        source = SourceFile("a\nbb\nccc", "t")
+        assert source.line_text(2) == "bb"
+        assert source.line_text(3) == "ccc"
+        assert source.line_text(10) == ""
+
+    def test_snippet_and_span(self):
+        source = SourceFile("hello world", "t")
+        span = source.span(6, 11)
+        assert source.snippet(span) == "world"
+        assert span.length == 5
+
+    def test_span_merge(self):
+        a = Span(2, 5, "f")
+        b = Span(7, 9, "f")
+        merged = a.merge(b)
+        assert (merged.start, merged.end) == (2, 9)
+        assert a.merge(None) is a
+
+    def test_no_span_is_synthetic(self):
+        assert NO_SPAN.is_synthetic()
+        assert not Span(0, 1, "file.descend").is_synthetic()
+
+
+class TestDiagnostics:
+    def test_render_with_source_shows_caret(self):
+        source = SourceFile("let x = arr[0]\n", "ex.descend")
+        span = source.span(8, 14)
+        diagnostic = Diagnostic.error("E0001", "conflicting memory access", span, label="here")
+        rendered = diagnostic.render(source)
+        assert "error[E0001]" in rendered
+        assert "^" in rendered
+        assert "ex.descend:1:9" in rendered
+
+    def test_render_without_source_shows_labels(self):
+        diagnostic = Diagnostic.error("E0006", "narrowing violated", NO_SPAN, label="bad access")
+        diagnostic.with_note("select a distinct part")
+        rendered = diagnostic.render()
+        assert "narrowing violated" in rendered
+        assert "bad access" in rendered
+        assert "select a distinct part" in rendered
+
+    def test_secondary_labels(self):
+        diagnostic = Diagnostic.error("E0001", "conflict", NO_SPAN, label="first")
+        diagnostic.with_label(NO_SPAN, "because of this earlier access")
+        rendered = diagnostic.render()
+        assert "because of this earlier access" in rendered
+
+    def test_str(self):
+        diagnostic = Diagnostic.error("E0002", "barrier not allowed here")
+        assert str(diagnostic) == "error[E0002]: barrier not allowed here"
+
+    def test_bag_collects_errors_and_warnings(self):
+        bag = DiagnosticBag()
+        bag.add(Diagnostic.error("E0001", "boom"))
+        bag.add(Diagnostic.warning("W0001", "meh"))
+        assert bag.has_errors()
+        assert len(bag.errors) == 1
+        assert len(bag.warnings) == 1
+        assert len(bag) == 2
+        assert "boom" in bag.render_all()

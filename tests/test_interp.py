@@ -1,0 +1,154 @@
+"""Tests for the Descend interpreter (device and host) against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.descend.compiler import compile_program, compile_source
+from repro.descend.interp import DescendKernel, HostInterpreter
+from repro.descend.typeck import check_program
+from repro.descend_programs import matmul, reduce, scan, transpose, vector
+from repro.errors import DescendRuntimeError
+from repro.gpusim import GpuDevice
+
+
+class TestDeviceInterpreter:
+    def test_scale_kernel(self, device):
+        program = vector.build_scale_program(n=128, block_size=32)
+        check_program(program)
+        data = np.arange(128, dtype=np.float64)
+        buf = device.to_device(data)
+        launch = DescendKernel(program, "scale_vec").launch(device, {"vec": buf})
+        assert np.allclose(device.to_host(buf), data * 3.0)
+        assert not launch.races
+
+    def test_saxpy_kernel_with_scalar_argument(self, device, rng):
+        program = vector.build_saxpy_program(n=64, block_size=32)
+        check_program(program)
+        x, y = rng.random(64), rng.random(64)
+        dx, dy = device.to_device(x), device.to_device(y)
+        DescendKernel(program, "saxpy").launch(device, {"y": dy, "x": dx, "alpha": 2.0})
+        assert np.allclose(device.to_host(dy), 2.0 * x + y)
+
+    def test_transpose_matches_numpy(self, device, rng):
+        program = transpose.build_transpose_program(n=32, tile=8, rows=2)
+        check_program(program)
+        data = rng.random((32, 32))
+        input_buf = device.to_device(data)
+        output_buf = device.malloc((32, 32), dtype=np.float64)
+        launch = DescendKernel(program, "transpose").launch(
+            device, {"input": input_buf, "output": output_buf}
+        )
+        assert np.allclose(device.to_host(output_buf), data.T)
+        assert not launch.races
+
+    def test_reduce_matches_numpy(self, device, rng):
+        program = reduce.build_reduce_program(n=512, block_size=32)
+        check_program(program)
+        data = rng.random(512)
+        input_buf = device.to_device(data)
+        output_buf = device.malloc((16,), dtype=np.float64)
+        launch = DescendKernel(program, "block_reduce").launch(
+            device, {"input": input_buf, "output": output_buf}
+        )
+        assert np.allclose(device.to_host(output_buf), data.reshape(16, 32).sum(axis=1))
+        assert not launch.races
+        assert launch.barriers > 0
+
+    def test_scan_matches_numpy(self, device, rng):
+        program = scan.build_scan_program(n=512, block_size=16, elems_per_thread=4)
+        check_program(program)
+        data = rng.random(512)
+        blocks = 512 // 64
+        input_buf = device.to_device(data)
+        output_buf = device.malloc((512,), dtype=np.float64)
+        sums_buf = device.malloc((blocks,), dtype=np.float64)
+        DescendKernel(program, "scan_blocks").launch(
+            device, {"input": input_buf, "output": output_buf, "block_sums": sums_buf}
+        )
+        sums = device.to_host(sums_buf)
+        offsets = np.zeros_like(sums)
+        offsets[1:] = np.cumsum(sums)[:-1]
+        offsets_buf = device.to_device(offsets)
+        DescendKernel(program, "add_offsets").launch(
+            device, {"output": output_buf, "offsets": offsets_buf}
+        )
+        assert np.allclose(device.to_host(output_buf), np.cumsum(data))
+
+    def test_matmul_matches_numpy(self, device, rng):
+        program = matmul.build_matmul_program(m=16, k=16, n=16, tile=8)
+        check_program(program)
+        a = rng.random((16, 16))
+        b = rng.random((16, 16))
+        a_buf, b_buf = device.to_device(a), device.to_device(b)
+        c_buf = device.malloc((16, 16), dtype=np.float64)
+        launch = DescendKernel(program, "matmul").launch(
+            device, {"a": a_buf, "b": b_buf, "c": c_buf}
+        )
+        assert np.allclose(device.to_host(c_buf), a @ b)
+        assert not launch.races
+
+    def test_launch_config_comes_from_signature(self):
+        program = vector.build_scale_program(n=128, block_size=32)
+        kernel = DescendKernel(program, "scale_vec")
+        assert kernel.grid_dim() == (4, 1, 1)
+        assert kernel.block_dim() == (32, 1, 1)
+
+    def test_missing_argument_raises(self, device):
+        program = vector.build_scale_program(n=128, block_size=32)
+        with pytest.raises(DescendRuntimeError):
+            DescendKernel(program, "scale_vec").launch(device, {})
+
+    def test_host_function_cannot_be_launched_as_kernel(self):
+        program = vector.build_scale_program(n=128, block_size=32)
+        with pytest.raises(DescendRuntimeError):
+            DescendKernel(program, "host_scale")
+
+
+class TestHostInterpreter:
+    def test_full_pipeline(self, device):
+        program = vector.build_scale_program(n=256, block_size=32)
+        check_program(program)
+        data = np.linspace(0, 1, 256)
+        result = HostInterpreter(program, device).run("host_scale", {"h_vec": data})
+        assert np.allclose(result.array("h_vec"), data * 3.0)
+        assert len(result.launches) == 1
+        assert result.total_kernel_cycles > 0
+
+    def test_missing_argument(self, device):
+        program = vector.build_scale_program(n=256, block_size=32)
+        with pytest.raises(DescendRuntimeError):
+            HostInterpreter(program, device).run("host_scale", {})
+
+    def test_gpu_function_rejected_on_host(self, device):
+        program = vector.build_scale_program(n=256, block_size=32)
+        with pytest.raises(DescendRuntimeError):
+            HostInterpreter(program, device).run("scale_vec", {})
+
+
+class TestCompilerApi:
+    def test_compile_source_and_run(self, device):
+        compiled = compile_source(
+            """
+            fn doubler(vec: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+                sched(X) block in grid {
+                    sched(X) thread in block {
+                        vec.group::<32>[[block]][[thread]] =
+                            vec.group::<32>[[block]][[thread]] * 2.0
+                    }
+                }
+            }
+            """
+        )
+        assert compiled.gpu_function_names() == ("doubler",)
+        data = np.arange(64, dtype=np.float64)
+        buf = device.to_device(data)
+        compiled.kernel("doubler").launch(device, {"vec": buf})
+        assert np.allclose(device.to_host(buf), data * 2)
+        assert "__global__ void doubler" in compiled.to_cuda().kernel("doubler")
+        assert "fn doubler" in compiled.to_source()
+
+    def test_compile_program_runs_host(self, device):
+        compiled = compile_program(vector.build_scale_program(n=64, block_size=32))
+        data = np.ones(64)
+        result = compiled.run_host("host_scale", {"h_vec": data}, device=device)
+        assert np.allclose(result.array("h_vec"), 3.0)

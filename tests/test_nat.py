@@ -1,0 +1,155 @@
+"""Unit tests for symbolic natural numbers (repro.descend.nat)."""
+
+import pytest
+
+from repro.descend.nat import (
+    NatBinOp,
+    NatConst,
+    NatError,
+    NatVar,
+    as_nat,
+    evaluate_nat,
+    free_nat_vars,
+    nat_divisible,
+    nat_equal,
+    nat_known_distinct,
+    nat_le,
+    normalize,
+)
+
+
+class TestConstruction:
+    def test_as_nat_from_int(self):
+        assert as_nat(5) == NatConst(5)
+
+    def test_as_nat_from_digit_string(self):
+        assert as_nat("12") == NatConst(12)
+
+    def test_as_nat_from_name(self):
+        assert as_nat("n") == NatVar("n")
+
+    def test_as_nat_passthrough(self):
+        n = NatVar("n")
+        assert as_nat(n) is n
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(NatError):
+            NatConst(-1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(NatError):
+            as_nat(True)
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(NatError):
+            NatBinOp("?", NatConst(1), NatConst(2))
+
+
+class TestEvaluation:
+    def test_constant(self):
+        assert evaluate_nat(NatConst(7)) == 7
+
+    def test_variable_with_binding(self):
+        assert evaluate_nat(NatVar("n"), {"n": 32}) == 32
+
+    def test_variable_without_binding_raises(self):
+        with pytest.raises(NatError):
+            evaluate_nat(NatVar("n"))
+
+    def test_arithmetic(self):
+        expr = (as_nat("n") + 2) * 4
+        assert evaluate_nat(expr, {"n": 3}) == 20
+
+    def test_division_is_integer_division(self):
+        assert evaluate_nat(as_nat(7) / 2) == 3
+
+    def test_modulo(self):
+        assert evaluate_nat(as_nat(7) % 4) == 3
+
+    def test_power(self):
+        assert evaluate_nat(as_nat(2) ** as_nat("k"), {"k": 5}) == 32
+
+    def test_subtraction_underflow_raises(self):
+        with pytest.raises(NatError):
+            evaluate_nat(as_nat(2) - 5)
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(NatError):
+            evaluate_nat(as_nat(4) / 0)
+
+
+class TestNormalizationAndEquality:
+    def test_constant_folding(self):
+        assert normalize(as_nat(2) + 3) == NatConst(5)
+
+    def test_commutativity(self):
+        assert nat_equal(as_nat("n") + 3, as_nat(3) + "n")
+
+    def test_distribution(self):
+        lhs = (as_nat("n") + 1) * 2
+        rhs = as_nat("n") * 2 + 2
+        assert nat_equal(lhs, rhs)
+
+    def test_different_polynomials_not_equal(self):
+        assert not nat_equal(as_nat("n") * 2, as_nat("n") + 2)
+
+    def test_power_of_two_rewrite(self):
+        two_pow_k1 = NatBinOp("^", NatConst(2), NatVar("k") + 1)
+        doubled = NatConst(2) * NatBinOp("^", NatConst(2), NatVar("k"))
+        assert nat_equal(two_pow_k1, doubled)
+
+    def test_opaque_division_self_equal(self):
+        expr = as_nat(64) / NatBinOp("^", NatConst(2), NatVar("k") + 1)
+        assert nat_equal(expr, as_nat(64) / NatBinOp("^", NatConst(2), NatVar("k") + 1))
+
+    def test_division_by_common_constant(self):
+        assert nat_equal((as_nat("n") * 4) / 2, as_nat("n") * 2)
+
+    def test_free_vars(self):
+        expr = (as_nat("n") + as_nat("m")) * 2
+        assert free_nat_vars([expr]) == {"n", "m"}
+
+
+class TestComparisons:
+    def test_known_distinct_constants(self):
+        assert nat_known_distinct(3, 4)
+
+    def test_known_distinct_with_offset(self):
+        assert nat_known_distinct(as_nat("n"), as_nat("n") + 1)
+
+    def test_unknown_distinctness(self):
+        assert not nat_known_distinct(as_nat("n"), as_nat("m"))
+
+    def test_divisible_constants(self):
+        assert nat_divisible(32, 8) is True
+        assert nat_divisible(33, 8) is False
+
+    def test_divisible_symbolic_equal(self):
+        assert nat_divisible(as_nat("n"), as_nat("n")) is True
+
+    def test_divisible_undecidable(self):
+        assert nat_divisible(as_nat("n"), 8) is None
+
+    def test_divisible_polynomial_by_constant(self):
+        assert nat_divisible(as_nat("n") * 8, 4) is True
+
+    def test_le(self):
+        assert nat_le(3, 5) is True
+        assert nat_le(6, 5) is False
+        assert nat_le(as_nat("n"), as_nat("n")) is True
+        assert nat_le(as_nat("n"), 5) is None
+
+
+class TestSubstitution:
+    def test_substitute_variable(self):
+        expr = as_nat("n") * 2
+        substituted = expr.substitute({"n": NatConst(8)})
+        assert evaluate_nat(substituted) == 16
+
+    def test_substitute_missing_is_identity(self):
+        expr = as_nat("n") + 1
+        assert expr.substitute({"m": NatConst(3)}) == expr
+
+    def test_str_roundtrip_is_readable(self):
+        expr = (as_nat("n") + 1) * 2
+        assert "n" in str(expr) and "*" in str(expr)

@@ -1,0 +1,75 @@
+"""Tests for the syntactic disjointness analysis of place expressions."""
+
+from repro.descend.ast.places import PVar
+from repro.descend.typeck.overlap import Overlap, compare_places, place_contains, places_may_overlap
+
+
+def test_different_roots_are_disjoint():
+    assert compare_places(PVar("a"), PVar("b")) is Overlap.DISJOINT
+
+
+def test_identical_places():
+    a = PVar("x").view("group", 4).select("thread")
+    b = PVar("x").view("group", 4).select("thread")
+    assert compare_places(a, b) is Overlap.IDENTICAL
+
+
+def test_derefs_are_transparent():
+    a = PVar("x").deref().idx(1)
+    b = PVar("x").idx(1)
+    assert compare_places(a, b) is Overlap.IDENTICAL
+
+
+def test_distinct_constant_indices_are_disjoint():
+    assert compare_places(PVar("x").idx(0), PVar("x").idx(1)) is Overlap.DISJOINT
+
+
+def test_symbolic_equal_indices_are_identical():
+    assert compare_places(PVar("x").idx("i"), PVar("x").idx("i")) is Overlap.IDENTICAL
+
+
+def test_unknown_indices_may_overlap():
+    assert compare_places(PVar("x").idx("i"), PVar("x").idx("j")) is Overlap.MAY_OVERLAP
+
+
+def test_tuple_projections_are_disjoint():
+    assert compare_places(PVar("x").fst, PVar("x").snd) is Overlap.DISJOINT
+
+
+def test_split_halves_are_disjoint():
+    a = PVar("x").view("split", 16).fst
+    b = PVar("x").view("split", 16).snd
+    assert compare_places(a, b) is Overlap.DISJOINT
+
+
+def test_splits_at_different_positions_may_overlap():
+    a = PVar("x").view("split", 16).fst
+    b = PVar("x").view("split", 8).snd
+    assert compare_places(a, b) is Overlap.MAY_OVERLAP
+
+
+def test_prefix_overlaps_with_extension():
+    whole = PVar("x")
+    element = PVar("x").idx(3)
+    assert compare_places(whole, element) is Overlap.MAY_OVERLAP
+    assert places_may_overlap(whole, element)
+
+
+def test_different_views_may_overlap():
+    a = PVar("x").view("group", 4).select("t")
+    b = PVar("x").view("rev").select("t")
+    assert compare_places(a, b) is Overlap.MAY_OVERLAP
+
+
+def test_different_selects_may_overlap():
+    a = PVar("x").view("group", 4).select("block")
+    b = PVar("x").view("group", 4).select("thread")
+    assert compare_places(a, b) is Overlap.MAY_OVERLAP
+
+
+def test_place_contains():
+    whole = PVar("x")
+    element = PVar("x").view("group", 4).select("t")
+    assert place_contains(whole, element)
+    assert not place_contains(element, whole)
+    assert not place_contains(PVar("y"), element)

@@ -1,0 +1,204 @@
+"""The type checker rejects the unsafe programs of Section 2 (and more)."""
+
+import pytest
+
+from repro.descend.builder import *
+from repro.descend.typeck import check_program
+from repro.descend_programs.unsafe import UNSAFE_PROGRAMS
+from repro.errors import DescendTypeError
+
+
+@pytest.mark.parametrize("name", sorted(UNSAFE_PROGRAMS))
+def test_section2_programs_are_rejected_with_expected_code(name):
+    builder, expected_code = UNSAFE_PROGRAMS[name]
+    with pytest.raises(DescendTypeError) as excinfo:
+        check_program(builder())
+    assert excinfo.value.code == expected_code, excinfo.value.diagnostic.render()
+
+
+def _grid(blocks=4, threads=8):
+    return gpu_grid_spec("grid", dim_x(blocks), dim_x(threads))
+
+
+def _gpu_fun(body_term, params=None):
+    params = params or [param("arr", uniq_ref(GPU_GLOBAL, array(F64, 32)))]
+    return program(fun("kernel", params, _grid(), body_term))
+
+
+class TestAdditionalRejections:
+    def test_unknown_variable(self):
+        prog = _gpu_fun(body(sched("X", "block", "grid", sched("X", "thread", "block",
+                        assign(var("nope").view("group", 8).select("block").select("thread"), lit_f64(0.0))))))
+        with pytest.raises(DescendTypeError) as excinfo:
+            check_program(prog)
+        assert excinfo.value.code == "E0009"
+
+    def test_assignment_type_mismatch(self):
+        prog = _gpu_fun(body(sched("X", "block", "grid", sched("X", "thread", "block",
+                        assign(var("arr").view("group", 8).select("block").select("thread"), lit_bool(True))))))
+        with pytest.raises(DescendTypeError) as excinfo:
+            check_program(prog)
+        assert excinfo.value.code == "E0011"
+
+    def test_write_through_shared_reference(self):
+        prog = program(
+            fun(
+                "kernel",
+                [param("arr", shared_ref(GPU_GLOBAL, array(F64, 32)))],
+                _grid(),
+                body(sched("X", "block", "grid", sched("X", "thread", "block",
+                     assign(var("arr").view("group", 8).select("block").select("thread"), lit_f64(1.0))))),
+            )
+        )
+        with pytest.raises(DescendTypeError) as excinfo:
+            check_program(prog)
+        assert excinfo.value.code == "E0014"
+
+    def test_select_size_mismatch(self):
+        # 8 threads per block but groups of 4 elements: select size check fails
+        prog = _gpu_fun(body(sched("X", "block", "grid", sched("X", "thread", "block",
+                        assign(var("arr").view("group", 4).select("block").select("thread").idx(0), lit_f64(0.0))))))
+        with pytest.raises(DescendTypeError) as excinfo:
+            check_program(prog)
+        assert excinfo.value.code in ("E0005", "E0006")
+
+    def test_sched_over_wrong_resource(self):
+        prog = _gpu_fun(body(sched("X", "block", "grid",
+                                   sched("X", "thread", "grid", block()))))
+        with pytest.raises(DescendTypeError) as excinfo:
+            check_program(prog)
+        assert excinfo.value.code == "E0010"
+
+    def test_sched_over_missing_dimension(self):
+        prog = _gpu_fun(body(sched("Y", "block", "grid", block())))
+        with pytest.raises(DescendTypeError) as excinfo:
+            check_program(prog)
+        assert excinfo.value.code == "E0010"
+
+    def test_shared_alloc_outside_block_level(self):
+        prog = _gpu_fun(body(let("tmp", alloc_shared(array(F64, 8)))))
+        with pytest.raises(DescendTypeError) as excinfo:
+            check_program(prog)
+        assert excinfo.value.code == "E0013"
+
+    def test_shared_alloc_at_thread_level(self):
+        prog = _gpu_fun(body(sched("X", "block", "grid", sched("X", "thread", "block",
+                        let("tmp", alloc_shared(array(F64, 8)))))))
+        with pytest.raises(DescendTypeError) as excinfo:
+            check_program(prog)
+        assert excinfo.value.code == "E0013"
+
+    def test_sync_on_cpu_rejected(self):
+        prog = program(fun("host", [], cpu_spec("t"), body(sync())))
+        with pytest.raises(DescendTypeError) as excinfo:
+            check_program(prog)
+        assert excinfo.value.code == "E0002"
+
+    def test_sync_at_grid_level_rejected(self):
+        prog = _gpu_fun(body(sync()))
+        with pytest.raises(DescendTypeError) as excinfo:
+            check_program(prog)
+        assert excinfo.value.code == "E0002"
+
+    def test_grid_function_cannot_be_called_directly(self):
+        kernel = fun("kernel", [param("arr", uniq_ref(GPU_GLOBAL, array(F64, 32)))], _grid(),
+                     body(sched("X", "block", "grid", block())))
+        host = fun("host", [param("h", uniq_ref(CPU_MEM, array(F64, 32)))], cpu_spec("t"),
+                   body(let("d", gpu_alloc_copy(borrow(var("h").deref()))),
+                        call("kernel", uniq_borrow(var("d").deref()))))
+        with pytest.raises(DescendTypeError) as excinfo:
+            check_program(program(kernel, host))
+        assert excinfo.value.code == "E0010"
+
+    def test_unknown_function_call(self):
+        host = fun("host", [], cpu_spec("t"), body(call("does_not_exist")))
+        with pytest.raises(DescendTypeError) as excinfo:
+            check_program(program(host))
+        assert excinfo.value.code == "E0009"
+
+    def test_duplicate_function_names(self):
+        f1 = fun("dup", [], cpu_spec("t"), body())
+        f2 = fun("dup", [], cpu_spec("t"), body())
+        with pytest.raises(DescendTypeError) as excinfo:
+            check_program(program(f1, f2))
+        assert excinfo.value.code == "E0009"
+
+    def test_use_of_moved_box(self):
+        host = fun(
+            "host",
+            [param("h", uniq_ref(CPU_MEM, array(F64, 8)))],
+            cpu_spec("t"),
+            body(
+                let("d", gpu_alloc_copy(borrow(var("h").deref()))),
+                let("moved", read(var("d"))),
+                let("again", read(var("d"))),
+            ),
+        )
+        with pytest.raises(DescendTypeError) as excinfo:
+            check_program(program(host))
+        assert excinfo.value.code == "E0007"
+
+    def test_conflicting_writes_to_whole_array_by_all_threads(self):
+        prog = _gpu_fun(body(sched("X", "block", "grid", sched("X", "thread", "block",
+                        assign(var("arr").idx(0), lit_f64(1.0))))))
+        with pytest.raises(DescendTypeError) as excinfo:
+            check_program(prog)
+        assert excinfo.value.code == "E0006"
+
+    def test_gpu_borrow_cannot_escape_to_wrong_launch(self):
+        # launch argument array size mismatch is already covered; check dim mismatch message
+        builder, code = UNSAFE_PROGRAMS["wrong_launch_config"]
+        with pytest.raises(DescendTypeError) as excinfo:
+            check_program(builder())
+        rendered = excinfo.value.diagnostic.render()
+        assert "launch" in rendered or "mismatched" in rendered
+
+    def test_binary_op_type_mismatch(self):
+        prog = _gpu_fun(body(sched("X", "block", "grid", sched("X", "thread", "block",
+                        assign(var("arr").view("group", 8).select("block").select("thread"),
+                               add(lit_f64(1.0), lit_bool(True)))))))
+        with pytest.raises(DescendTypeError) as excinfo:
+            check_program(prog)
+        assert excinfo.value.code == "E0011"
+
+    def test_missing_sync_is_reported_as_loop_or_conflict_error(self):
+        builder, code = UNSAFE_PROGRAMS["missing_sync"]
+        with pytest.raises(DescendTypeError) as excinfo:
+            check_program(builder())
+        assert excinfo.value.code == "E0001"
+
+    def test_reduce_without_sync_in_loop_rejected(self):
+        from repro.descend.nat import NatBinOp, NatConst, NatVar
+
+        stride = NatBinOp("/", NatConst(8), NatBinOp("^", NatConst(2), NatVar("k") + NatConst(1)))
+        active_sum = assign(
+            var("tmp").view("split", stride).fst.select("thread"),
+            add(
+                read(var("tmp").view("split", stride).fst.select("thread")),
+                read(var("tmp").view("split", stride).snd.view("split", stride).fst.select("thread")),
+            ),
+        )
+        prog = program(
+            fun(
+                "reduce_no_sync",
+                [param("input", shared_ref(GPU_GLOBAL, array(F64, 32)))],
+                _grid(),
+                body(
+                    sched(
+                        "X", "block", "grid",
+                        let("tmp", alloc_shared(array(F64, 8))),
+                        sched("X", "thread", "block",
+                              assign(var("tmp").select("thread"),
+                                     read(var("input").view("group", 8).select("block").select("thread")))),
+                        for_nat("k", 0, 3,
+                                # no sync here!
+                                split_exec("X", "block", stride,
+                                           ("active", block(sched("X", "thread", "active", active_sum))),
+                                           ("inactive", block()))),
+                    )
+                ),
+            )
+        )
+        with pytest.raises(DescendTypeError) as excinfo:
+            check_program(prog)
+        assert excinfo.value.code == "E0001"

@@ -1,0 +1,83 @@
+"""Property-based tests of the type checker on generated safe/unsafe programs."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.descend.builder import *
+from repro.descend.typeck import check_program
+from repro.errors import DescendTypeError
+
+
+def _elementwise_program(num_blocks: int, block_size: int, with_block_select: bool):
+    """An element-wise kernel; omitting the block select violates narrowing."""
+    n = num_blocks * block_size
+    place = var("vec").view("group", block_size)
+    if with_block_select:
+        place = place.select("block")
+    place = place.select("thread") if with_block_select else place.select("thread").idx(0)
+    kernel = fun(
+        "kernel",
+        [param("vec", uniq_ref(GPU_GLOBAL, array(F64, n)))],
+        gpu_grid_spec("grid", dim_x(num_blocks), dim_x(block_size)),
+        body(
+            sched(
+                "X", "block", "grid",
+                sched("X", "thread", "block", assign(place, lit_f64(1.0))),
+            )
+        ),
+    )
+    return program(kernel)
+
+
+@given(
+    num_blocks=st.integers(min_value=1, max_value=16),
+    block_size=st.sampled_from([2, 4, 8, 16, 32, 64]),
+)
+@settings(max_examples=40, deadline=None)
+def test_properly_narrowed_elementwise_kernels_always_typecheck(num_blocks, block_size):
+    check_program(_elementwise_program(num_blocks, block_size, with_block_select=True))
+
+
+@given(
+    num_blocks=st.integers(min_value=2, max_value=16),
+    block_size=st.sampled_from([4, 8, 16, 32]),
+)
+@settings(max_examples=40, deadline=None)
+def test_missing_block_selection_is_always_rejected(num_blocks, block_size):
+    with pytest.raises(DescendTypeError) as excinfo:
+        check_program(_elementwise_program(num_blocks, block_size, with_block_select=False))
+    assert excinfo.value.code in ("E0005", "E0006")
+
+
+@given(
+    block_size=st.sampled_from([8, 16, 32, 64, 128]),
+    split_at=st.integers(min_value=1, max_value=127),
+)
+@settings(max_examples=40, deadline=None)
+def test_sync_under_any_thread_split_is_rejected(block_size, split_at):
+    if split_at >= block_size:
+        return
+    kernel = fun(
+        "kernel",
+        [param("arr", uniq_ref(GPU_GLOBAL, array(F64, block_size)))],
+        gpu_grid_spec("grid", dim_x(1), dim_x(block_size)),
+        body(
+            sched(
+                "X", "block", "grid",
+                split_exec("X", "block", split_at, ("lo", block(sync())), ("hi", block())),
+            )
+        ),
+    )
+    with pytest.raises(DescendTypeError) as excinfo:
+        check_program(program(kernel))
+    assert excinfo.value.code == "E0002"
+
+
+@given(scale=st.integers(min_value=1, max_value=6))
+@settings(max_examples=20, deadline=None)
+def test_reduction_typechecks_for_any_power_of_two_block(scale):
+    from repro.descend_programs.reduce import build_reduce_program
+
+    block_size = 2 ** scale
+    check_program(build_reduce_program(n=block_size * 4, block_size=block_size))

@@ -1,0 +1,92 @@
+"""Property-based tests of view semantics (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.descend.ast.views import ViewRef
+from repro.descend.views.indexing import LogicalArray, bind_view
+
+
+def _bind(ref: ViewRef):
+    return bind_view(ref, resolver=lambda nat: nat.evaluate({}))
+
+
+def _all_offsets(logical):
+    out = []
+
+    def walk(coords):
+        if len(coords) == len(logical.shape):
+            out.append(logical.flat_offset(coords))
+            return
+        for index in range(logical.shape[len(coords)]):
+            walk(coords + (index,))
+
+    walk(())
+    return out
+
+
+sizes = st.integers(min_value=1, max_value=6)
+
+
+@given(groups=sizes, per_group=sizes)
+@settings(max_examples=60, deadline=None)
+def test_group_is_a_bijection(groups, per_group):
+    """group::<k> only regroups: every source element is hit exactly once."""
+    n = groups * per_group
+    logical = LogicalArray.root((n,)).apply_view(_bind(ViewRef.of("group", per_group)))
+    offsets = _all_offsets(logical)
+    assert sorted(offsets) == list(range(n))
+
+
+@given(rows=sizes, cols=sizes)
+@settings(max_examples=60, deadline=None)
+def test_transpose_is_an_involution(rows, cols):
+    logical = LogicalArray.root((rows, cols))
+    twice = logical.apply_view(_bind(ViewRef.of("transpose"))).apply_view(_bind(ViewRef.of("transpose")))
+    assert twice.shape == (rows, cols)
+    assert _all_offsets(twice) == _all_offsets(logical)
+
+
+@given(n=st.integers(min_value=1, max_value=24))
+@settings(max_examples=60, deadline=None)
+def test_reverse_is_an_involution(n):
+    logical = LogicalArray.root((n,))
+    twice = logical.apply_view(_bind(ViewRef.of("rev"))).apply_view(_bind(ViewRef.of("rev")))
+    assert _all_offsets(twice) == list(range(n))
+
+
+@given(groups=sizes, per_group=sizes)
+@settings(max_examples=60, deadline=None)
+def test_join_inverts_group(groups, per_group):
+    n = groups * per_group
+    logical = (
+        LogicalArray.root((n,))
+        .apply_view(_bind(ViewRef.of("group", per_group)))
+        .apply_view(_bind(ViewRef.of("join")))
+    )
+    assert logical.shape == (n,)
+    assert _all_offsets(logical) == list(range(n))
+
+
+@given(rows=sizes, cols=sizes, tile_r=sizes, tile_c=sizes)
+@settings(max_examples=60, deadline=None)
+def test_group_by_tile_is_a_bijection(rows, cols, tile_r, tile_c):
+    height, width = rows * tile_r, cols * tile_c
+    logical = LogicalArray.root((height, width)).apply_view(
+        _bind(ViewRef.of("group_by_tile", tile_r, tile_c))
+    )
+    offsets = _all_offsets(logical)
+    assert sorted(offsets) == list(range(height * width))
+
+
+@given(split_at=st.integers(min_value=0, max_value=10), extra=st.integers(min_value=0, max_value=10))
+@settings(max_examples=60, deadline=None)
+def test_split_halves_partition_the_array(split_at, extra):
+    n = split_at + extra
+    if n == 0:
+        return
+    pair = LogicalArray.root((n,)).apply_view(_bind(ViewRef.of("split", split_at)))
+    first = _all_offsets(pair.first)
+    second = _all_offsets(pair.second)
+    assert sorted(first + second) == list(range(n))
+    assert set(first).isdisjoint(second)

@@ -9,15 +9,21 @@
   runtimes of CUDA vs Descend per benchmark and size, plus the mean,
 * :mod:`repro.benchsuite.report` — plain-text table formatting,
 * :mod:`repro.benchsuite.ablation` — additional studies (coalescing, type
-  checking cost).
+  checking cost),
+* :mod:`repro.benchsuite.enginebench` — reference vs vectorized engine
+  comparison: cycle-count parity plus wall-clock speedup (``BENCH_*.json``).
 """
 
+from repro.benchsuite.enginebench import EngineBenchResult, compare_engines, run_engine_bench
 from repro.benchsuite.runner import BenchmarkRun, run_benchmark_pair
 from repro.benchsuite.workloads import BENCHMARKS, SIZES, Workload, workload
 
 __all__ = [
     "BenchmarkRun",
+    "EngineBenchResult",
+    "compare_engines",
     "run_benchmark_pair",
+    "run_engine_bench",
     "Workload",
     "workload",
     "BENCHMARKS",

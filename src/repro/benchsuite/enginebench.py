@@ -1,0 +1,248 @@
+"""Engine benchmark: reference vs vectorized on the Figure 8 workloads.
+
+Running ``python -m repro.cli bench`` (or ``python -m
+repro.benchsuite.enginebench``) executes every selected Figure 8 workload
+twice on the CUDA-lite kernels — once per execution engine — and reports
+
+* the simulated kernel cycles of both engines (they must be *identical*;
+  a mismatch aborts with :class:`BenchmarkError`, which is the regression
+  gate CI relies on), and
+* the wall-clock time of running the simulator itself, plus the resulting
+  speedup of the vectorized engine.
+
+The JSON report (``BENCH_*.json`` by default) is uploaded as a CI artifact
+by the bench-smoke job so the speedup trajectory accumulates over time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.benchsuite.report import format_bytes, format_table
+from repro.benchsuite.runner import _CUDA_RUNNERS, _reference_and_data
+from repro.benchsuite.workloads import BENCHMARKS, SIZES, Workload, workload
+from repro.errors import BenchmarkError
+from repro.gpusim import GpuDevice
+
+#: Sizes benchmarked by default and by the CI smoke job (``--quick``).
+DEFAULT_SIZES = ("small", "medium")
+QUICK_SIZES = ("small",)
+
+
+@dataclass
+class EngineBenchRow:
+    """One workload, both engines."""
+
+    benchmark: str
+    size: str
+    reference_cycles: float
+    vectorized_cycles: float
+    reference_wall_s: float
+    vectorized_wall_s: float
+    footprint_bytes: int
+
+    @property
+    def cycles_match(self) -> bool:
+        return self.reference_cycles == self.vectorized_cycles
+
+    @property
+    def speedup(self) -> float:
+        if self.vectorized_wall_s == 0:
+            return float("inf")
+        return self.reference_wall_s / self.vectorized_wall_s
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "size": self.size,
+            "reference_cycles": self.reference_cycles,
+            "vectorized_cycles": self.vectorized_cycles,
+            "cycles_match": self.cycles_match,
+            "reference_wall_s": self.reference_wall_s,
+            "vectorized_wall_s": self.vectorized_wall_s,
+            "speedup": self.speedup,
+            "footprint_bytes": self.footprint_bytes,
+        }
+
+
+@dataclass
+class EngineBenchResult:
+    """All benchmarked workloads plus the aggregates CI tracks."""
+
+    rows: List[EngineBenchRow] = field(default_factory=list)
+
+    @property
+    def all_cycles_match(self) -> bool:
+        return all(row.cycles_match for row in self.rows)
+
+    @property
+    def geometric_mean_speedup(self) -> float:
+        speedups = [row.speedup for row in self.rows if row.speedup > 0]
+        if not speedups:
+            return float("nan")
+        return math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+
+    @property
+    def min_speedup(self) -> float:
+        if not self.rows:
+            return float("nan")
+        return min(row.speedup for row in self.rows)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "engine-bench",
+            "workloads": [row.as_dict() for row in self.rows],
+            "all_cycles_match": self.all_cycles_match,
+            "geometric_mean_speedup": self.geometric_mean_speedup,
+            "min_speedup": self.min_speedup,
+        }
+
+    def to_table(self) -> str:
+        table = format_table(
+            ["benchmark", "size", "footprint", "cycles", "parity", "ref wall", "vec wall", "speedup"],
+            [
+                (
+                    row.benchmark,
+                    row.size,
+                    format_bytes(row.footprint_bytes),
+                    round(row.reference_cycles, 1),
+                    "==" if row.cycles_match else "MISMATCH",
+                    f"{row.reference_wall_s * 1e3:.1f} ms",
+                    f"{row.vectorized_wall_s * 1e3:.1f} ms",
+                    f"{row.speedup:.1f}x",
+                )
+                for row in self.rows
+            ],
+        )
+        return (
+            table
+            + f"\n\ngeometric mean speedup: {self.geometric_mean_speedup:.1f}x"
+            + f" (min {self.min_speedup:.1f}x); cycle parity: "
+            + ("exact for every workload" if self.all_cycles_match else "VIOLATED")
+        )
+
+
+def _time_variant(runner, workload_: Workload, data, reference, engine: str, repeats: int):
+    """Best-of-``repeats`` wall-clock of simulating the workload on one engine."""
+    best_wall = float("inf")
+    cycles = float("nan")
+    for _ in range(max(1, repeats)):
+        device = GpuDevice(execution_mode=engine)
+        start = time.perf_counter()
+        cycles, result, races, _stats = runner(device, workload_.params, data)
+        wall = time.perf_counter() - start
+        best_wall = min(best_wall, wall)
+        if races:
+            raise BenchmarkError(
+                f"{workload_.label} reported {races} data races under the {engine} engine"
+            )
+        if not np.allclose(result, reference):
+            raise BenchmarkError(
+                f"{workload_.label} produced a wrong result under the {engine} engine"
+            )
+    return cycles, best_wall
+
+
+def compare_engines(benchmark: str, size: str, repeats: int = 1) -> EngineBenchRow:
+    """Run one workload on both engines and check cycle-count parity."""
+    workload_ = workload(benchmark, size)
+    data, reference = _reference_and_data(workload_)
+    runner = _CUDA_RUNNERS[benchmark]
+    ref_cycles, ref_wall = _time_variant(runner, workload_, data, reference, "reference", repeats)
+    vec_cycles, vec_wall = _time_variant(runner, workload_, data, reference, "vectorized", repeats)
+    row = EngineBenchRow(
+        benchmark=benchmark,
+        size=size,
+        reference_cycles=ref_cycles,
+        vectorized_cycles=vec_cycles,
+        reference_wall_s=ref_wall,
+        vectorized_wall_s=vec_wall,
+        footprint_bytes=workload_.footprint_bytes(),
+    )
+    if not row.cycles_match:
+        raise BenchmarkError(
+            f"cycle-count parity violated for {workload_.label}: "
+            f"reference={ref_cycles} vectorized={vec_cycles}"
+        )
+    return row
+
+
+def run_engine_bench(
+    benchmarks: Sequence[str] = BENCHMARKS,
+    sizes: Sequence[str] = DEFAULT_SIZES,
+    repeats: int = 1,
+    progress=None,
+) -> EngineBenchResult:
+    """Benchmark every selected workload on both engines."""
+    result = EngineBenchResult()
+    for benchmark in benchmarks:
+        for size in sizes:
+            if progress is not None:
+                progress(f"benchmarking {benchmark}/{size} on both engines ...")
+            result.rows.append(compare_engines(benchmark, size, repeats=repeats))
+    return result
+
+
+def write_report(result: EngineBenchResult, path: str, quick: bool = False) -> Dict[str, object]:
+    """Write the JSON report CI uploads as the bench-smoke artifact."""
+    payload = dict(result.as_dict())
+    payload["quick"] = quick
+    payload["created_unix"] = time.time()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the reference vs the vectorized execution engine"
+    )
+    parser.add_argument("--benchmarks", nargs="*", default=list(BENCHMARKS), choices=list(BENCHMARKS))
+    parser.add_argument("--sizes", nargs="*", default=None, choices=list(SIZES))
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"CI smoke subset: sizes {QUICK_SIZES} only",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_engine.json",
+        help="path of the JSON report (default: %(default)s)",
+    )
+    parser.add_argument("--json", action="store_true", help="print the JSON payload to stdout")
+    args = parser.parse_args(argv)
+
+    sizes = args.sizes if args.sizes else (list(QUICK_SIZES) if args.quick else list(DEFAULT_SIZES))
+    try:
+        result = run_engine_bench(
+            benchmarks=args.benchmarks,
+            sizes=sizes,
+            repeats=args.repeats,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+    except BenchmarkError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        payload = write_report(result, args.output, quick=args.quick)
+    except OSError as exc:
+        print(f"error: cannot write report to {args.output!r}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(result.to_table())
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

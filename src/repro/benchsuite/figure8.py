@@ -89,14 +89,20 @@ def run_figure8(
     sizes: Sequence[str] = SIZES,
     repeats: int = 1,
     progress=None,
+    engine: str = "reference",
 ) -> Figure8Result:
-    """Run the Figure 8 sweep (optionally restricted to some benchmarks/sizes)."""
+    """Run the Figure 8 sweep (optionally restricted to some benchmarks/sizes).
+
+    ``engine`` picks the execution engine for the CUDA-lite side; the cycle
+    counts (and therefore every number in the figure) are engine-independent,
+    but ``"vectorized"`` regenerates the data much faster.
+    """
     result = Figure8Result()
     for benchmark in benchmarks:
         for size in sizes:
             if progress is not None:
                 progress(f"running {benchmark}/{size} ...")
-            run = run_benchmark_pair(benchmark, size, repeats=repeats)
+            run = run_benchmark_pair(benchmark, size, repeats=repeats, engine=engine)
             result.rows.append(_row_from_run(run))
     return result
 
@@ -117,6 +123,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--benchmarks", nargs="*", default=list(BENCHMARKS), choices=list(BENCHMARKS))
     parser.add_argument("--sizes", nargs="*", default=list(SIZES), choices=list(SIZES))
     parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument(
+        "--engine", default="reference", choices=("reference", "vectorized"),
+        help="execution engine for the CUDA-lite side (cycle counts are identical)",
+    )
     parser.add_argument("--json", action="store_true", help="print machine-readable JSON")
     args = parser.parse_args(argv)
 
@@ -125,6 +135,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         sizes=args.sizes,
         repeats=args.repeats,
         progress=lambda msg: print(msg, file=sys.stderr),
+        engine=args.engine,
     )
     if args.json:
         print(json.dumps(result.as_dict(), indent=2))

@@ -248,13 +248,15 @@ _DESCEND_RUNNERS = {
 }
 
 
-def _run_variant(runner, workload_: Workload, data, reference, repeats: int) -> VariantRun:
+def _run_variant(
+    runner, workload_: Workload, data, reference, repeats: int, engine: str = "reference"
+) -> VariantRun:
     cycles_per_run: List[float] = []
     races = 0
     correct = True
     stats: Dict[str, float] = {}
     for _ in range(max(1, repeats)):
-        device = GpuDevice()
+        device = GpuDevice(execution_mode=engine)
         cycles, result, run_races, stats = runner(device, workload_.params, data)
         cycles_per_run.append(cycles)
         races += run_races
@@ -272,11 +274,18 @@ def run_benchmark_pair(
     benchmark: str,
     size: str,
     repeats: int = 1,
+    engine: str = "reference",
 ) -> BenchmarkRun:
-    """Run one Figure 8 cell: the CUDA-lite and Descend variants of one workload."""
+    """Run one Figure 8 cell: the CUDA-lite and Descend variants of one workload.
+
+    ``engine`` selects the execution engine for the CUDA-lite side
+    (``"reference"`` or ``"vectorized"``); the Descend interpreter always runs
+    on the reference engine.  Because both engines produce identical cycle
+    counts, the Figure 8 ratios are engine-independent.
+    """
     workload_ = workload(benchmark, size)
     data, reference = _reference_and_data(workload_)
-    cuda = _run_variant(_CUDA_RUNNERS[benchmark], workload_, data, reference, repeats)
+    cuda = _run_variant(_CUDA_RUNNERS[benchmark], workload_, data, reference, repeats, engine=engine)
     descend = _run_variant(_DESCEND_RUNNERS[benchmark], workload_, data, reference, repeats)
     if not cuda.correct:
         raise BenchmarkError(f"CUDA-lite produced a wrong result for {workload_.label}")

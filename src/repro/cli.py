@@ -12,8 +12,13 @@ Sub-commands:
 ``descendc print file.descend``
     Parse, type check, and pretty-print the program back to surface syntax.
 
-``descendc figure8 [--sizes small ...]``
+``descendc figure8 [--sizes small ...] [--engine vectorized]``
     Run the benchmark harness reproducing Figure 8 of the paper.
+
+``descendc bench [--quick]``
+    Benchmark the reference vs the warp-vectorized execution engine on the
+    Figure 8 workloads, assert cycle-count parity, and write a
+    ``BENCH_*.json`` report (the CI bench-smoke artifact).
 """
 
 from __future__ import annotations
@@ -91,9 +96,30 @@ def cmd_figure8(args: argparse.Namespace) -> int:
         forwarded += ["--benchmarks", *args.benchmarks]
     if args.sizes:
         forwarded += ["--sizes", *args.sizes]
+    if args.engine:
+        forwarded += ["--engine", args.engine]
     if args.json:
         forwarded.append("--json")
     return figure8.main(forwarded)
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.benchsuite import enginebench
+
+    forwarded = []
+    if args.benchmarks:
+        forwarded += ["--benchmarks", *args.benchmarks]
+    if args.sizes:
+        forwarded += ["--sizes", *args.sizes]
+    if args.quick:
+        forwarded.append("--quick")
+    if args.repeats:
+        forwarded += ["--repeats", str(args.repeats)]
+    if args.output:
+        forwarded += ["--output", args.output]
+    if args.json:
+        forwarded.append("--json")
+    return enginebench.main(forwarded)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -119,8 +145,20 @@ def build_parser() -> argparse.ArgumentParser:
     fig8 = sub.add_parser("figure8", help="run the Figure 8 benchmark harness")
     fig8.add_argument("--benchmarks", nargs="*")
     fig8.add_argument("--sizes", nargs="*")
+    fig8.add_argument("--engine", choices=("reference", "vectorized"))
     fig8.add_argument("--json", action="store_true")
     fig8.set_defaults(func=cmd_figure8)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark the reference vs the vectorized execution engine"
+    )
+    bench.add_argument("--benchmarks", nargs="*")
+    bench.add_argument("--sizes", nargs="*")
+    bench.add_argument("--quick", action="store_true", help="CI smoke subset (small sizes)")
+    bench.add_argument("--repeats", type=int)
+    bench.add_argument("--output", help="path of the BENCH_*.json report")
+    bench.add_argument("--json", action="store_true")
+    bench.set_defaults(func=cmd_bench)
 
     return parser
 

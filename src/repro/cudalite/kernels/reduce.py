@@ -9,6 +9,7 @@ writes the block's partial sum to the output.
 from __future__ import annotations
 
 from repro.gpusim.buffer import DeviceBuffer
+from repro.gpusim.engine import vectorized_impl
 from repro.gpusim.launch import ThreadCtx
 
 import numpy as np
@@ -38,6 +39,33 @@ def block_reduce_kernel(ctx: ThreadCtx, input_buf: DeviceBuffer, output_buf: Dev
     if tid == 0:
         total = ctx.load(tmp, 0)
         ctx.store(output_buf, ctx.blockIdx.x, total)
+
+
+@vectorized_impl(block_reduce_kernel)
+def block_reduce_kernel_vec(ctx, input_buf: DeviceBuffer, output_buf: DeviceBuffer):
+    """Vectorized tree reduction: active lanes are selected with ``where=``."""
+    tid = ctx.threadIdx.x
+    block_size = ctx.blockDim.x
+    base = ctx.blockIdx.x * block_size
+
+    tmp = ctx.shared("tmp", (block_size,), dtype=input_buf.dtype)
+    value = ctx.load(input_buf, base + tid)
+    ctx.store(tmp, tid, value)
+    ctx.sync()
+
+    stride = block_size // 2
+    while stride >= 1:
+        active = tid < stride
+        left = ctx.load(tmp, tid, where=active)
+        right = ctx.load(tmp, tid + stride, where=active)
+        ctx.arith(1, where=active)
+        ctx.store(tmp, tid, left + right, where=active)
+        ctx.sync()
+        stride //= 2
+
+    leader = tid == 0
+    total = ctx.load(tmp, 0, where=leader)
+    ctx.store(output_buf, ctx.blockIdx.x, total, where=leader)
 
 
 def final_reduce_on_host(partial_sums: np.ndarray) -> float:

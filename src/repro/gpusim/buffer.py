@@ -24,6 +24,12 @@ from repro.errors import DeviceMemoryError
 
 _buffer_ids = itertools.count(1)
 
+
+def next_buffer_id() -> int:
+    """Reserve a fresh buffer id (shared with the vectorized engine's buffers)."""
+    return next(_buffer_ids)
+
+
 #: Address spaces known to the simulator.
 SPACES = ("global", "shared", "local", "host")
 
@@ -45,7 +51,7 @@ class HostBuffer:
     dtype: np.dtype
     data: np.ndarray
     label: str = ""
-    buffer_id: int = field(default_factory=lambda: next(_buffer_ids))
+    buffer_id: int = field(default_factory=next_buffer_id)
 
     @staticmethod
     def from_array(array: np.ndarray, label: str = "") -> "HostBuffer":
@@ -82,7 +88,7 @@ class DeviceBuffer:
     data: np.ndarray
     space: str = "global"
     label: str = ""
-    buffer_id: int = field(default_factory=lambda: next(_buffer_ids))
+    buffer_id: int = field(default_factory=next_buffer_id)
 
     def __post_init__(self) -> None:
         if self.space not in SPACES:

@@ -25,6 +25,10 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import DefaultDict, Dict, Iterable, List, Tuple
 
+import numpy as np
+
+from repro.gpusim.grouping import group_representatives, row_group_ids
+
 
 @dataclass(frozen=True)
 class CostParameters:
@@ -84,12 +88,26 @@ class KernelCost:
 
 
 class CostModel:
-    """Accumulates memory accesses / arithmetic and converts them into cycles."""
+    """Accumulates memory accesses / arithmetic and converts them into cycles.
+
+    Accesses arrive through one of two equivalent paths:
+
+    * :meth:`record_access` — one :class:`MemoryAccess` at a time (the
+      per-thread reference interpreter),
+    * :meth:`record_access_batch` — numpy arrays covering one vector operation
+      of the warp-vectorized engine.
+
+    Both paths produce bit-identical cycle counts: the batched path evaluates
+    the same per-``(block, warp, slot)`` grouping with ``np.unique`` instead
+    of Python dictionaries.
+    """
 
     def __init__(self, params: CostParameters = CostParameters()) -> None:
         self.params = params
         self._global: DefaultDict[Tuple[int, int, int], List[MemoryAccess]] = defaultdict(list)
         self._shared: DefaultDict[Tuple[int, int, int], List[MemoryAccess]] = defaultdict(list)
+        self._global_batches: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        self._shared_batches: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
         self._arithmetic = 0
         self._barriers = 0
 
@@ -103,6 +121,36 @@ class CostModel:
         # private/local accesses are register-like: folded into arithmetic cost
         else:
             self._arithmetic += 1
+
+    def record_access_batch(
+        self,
+        blocks: np.ndarray,
+        warps: np.ndarray,
+        slots: np.ndarray,
+        addresses: np.ndarray,
+        is_write: bool,
+        space: str,
+    ) -> None:
+        """Record one vectorized operation: parallel arrays of equal length.
+
+        ``addresses`` are byte addresses (``offset * element_size``), matching
+        what :meth:`record_access` receives via :class:`MemoryAccess`.
+        """
+        count = len(addresses)
+        if count == 0:
+            return
+        batch = (
+            np.asarray(blocks, dtype=np.int64),
+            np.asarray(warps, dtype=np.int64),
+            np.asarray(slots, dtype=np.int64),
+            np.asarray(addresses, dtype=np.int64),
+        )
+        if space == "global":
+            self._global_batches.append(batch)
+        elif space == "shared":
+            self._shared_batches.append(batch)
+        else:
+            self._arithmetic += count
 
     def record_arithmetic(self, count: int = 1) -> None:
         self._arithmetic += count
@@ -132,13 +180,50 @@ class CostModel:
             cycles += self.params.shared_access_cost * max(conflict_factor, 1 if accesses else 0)
         return cycles
 
+    @staticmethod
+    def _concat_batches(batches) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        return tuple(np.concatenate([batch[i] for batch in batches]) for i in range(4))
+
+    def _batched_global_transactions(self) -> int:
+        """Distinct ``(block, warp, slot, segment)`` tuples over all batches.
+
+        Summing per-group distinct segments (the dict-based path) equals
+        counting globally distinct group+segment tuples.
+        """
+        if not self._global_batches:
+            return 0
+        blocks, warps, slots, addresses = self._concat_batches(self._global_batches)
+        segments = addresses // self.params.global_segment_bytes
+        _, transactions = row_group_ids(blocks, warps, slots, segments)
+        return transactions
+
+    def _batched_shared_cycles(self) -> float:
+        """Bank-conflict serialisation over batched accesses (same formula)."""
+        if not self._shared_batches:
+            return 0.0
+        blocks, warps, slots, addresses = self._concat_batches(self._shared_batches)
+        banks = (addresses // self.params.shared_bank_width) % self.params.shared_banks
+        warp_ids, n_warp_groups = row_group_ids(blocks, warps, slots)
+        bank_ids, n_bank_groups = row_group_ids(warp_ids, banks)
+        warp_of_bank = group_representatives(bank_ids, n_bank_groups, warp_ids)
+        # distinct addresses per (warp group, bank) ...
+        addr_ids, n_addr_groups = row_group_ids(bank_ids, addresses)
+        bank_of_addr = group_representatives(addr_ids, n_addr_groups, bank_ids)
+        per_bank_counts = np.bincount(bank_of_addr, minlength=n_bank_groups)
+        # ... and the worst bank per warp group serialises the warp
+        conflict = np.zeros(n_warp_groups, dtype=np.int64)
+        np.maximum.at(conflict, warp_of_bank, per_bank_counts)
+        return float(self.params.shared_access_cost * conflict.sum())
+
     def finalize(self, blocks: int, threads_per_block: int) -> KernelCost:
         """Convert the recorded events into a kernel cost estimate."""
         params = self.params
-        global_transactions = self._global_transactions()
-        shared_cycles = self._shared_cycles()
+        global_transactions = self._global_transactions() + self._batched_global_transactions()
+        shared_cycles = self._shared_cycles() + self._batched_shared_cycles()
         global_accesses = sum(len(v) for v in self._global.values())
+        global_accesses += sum(len(batch[3]) for batch in self._global_batches)
         shared_accesses = sum(len(v) for v in self._shared.values())
+        shared_accesses += sum(len(batch[3]) for batch in self._shared_batches)
 
         global_cycles = global_transactions * params.global_transaction_cost / params.memory_parallelism
         arithmetic_cycles = (

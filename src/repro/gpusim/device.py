@@ -17,7 +17,8 @@ import numpy as np
 from repro.errors import DataRaceError, DeviceMemoryError, LaunchConfigurationError
 from repro.gpusim.buffer import DeviceBuffer, HostBuffer
 from repro.gpusim.cost import CostModel, CostParameters, KernelCost
-from repro.gpusim.launch import Dim3, normalize_dim3, run_block, _iter_indices
+from repro.gpusim.engine import get_engine
+from repro.gpusim.launch import Dim3, normalize_dim3
 from repro.gpusim.races import RaceDetector, RaceReport
 
 
@@ -38,6 +39,7 @@ class LaunchResult:
     cost: KernelCost
     races: List[RaceReport] = field(default_factory=list)
     barriers: int = 0
+    execution_mode: str = "reference"
 
     @property
     def cycles(self) -> float:
@@ -66,17 +68,28 @@ class DeviceProperties:
 
 
 class GpuDevice:
-    """A simulated GPU device."""
+    """A simulated GPU device.
+
+    ``execution_mode`` selects the default engine for kernel launches:
+    ``"reference"`` (per-thread generator interpreter, the semantic baseline)
+    or ``"vectorized"`` (lockstep numpy execution, identical cycle counts,
+    an order of magnitude faster — requires kernels registered with
+    :func:`repro.gpusim.engine.vectorized_impl`).  Individual launches can
+    override it via ``launch(..., execution_mode=...)``.
+    """
 
     def __init__(
         self,
         cost_parameters: CostParameters = CostParameters(),
         properties: DeviceProperties = DeviceProperties(),
         detect_races: bool = True,
+        execution_mode: str = "reference",
     ) -> None:
         self.cost_parameters = cost_parameters
         self.properties = properties
         self.detect_races = detect_races
+        get_engine(execution_mode)  # validate eagerly
+        self.execution_mode = execution_mode
         self._allocations: Dict[int, DeviceBuffer] = {}
         self.launch_log: List[LaunchResult] = []
 
@@ -154,28 +167,28 @@ class GpuDevice:
         args: Sequence[object] = (),
         kernel_name: Optional[str] = None,
         detect_races: Optional[bool] = None,
+        execution_mode: Optional[str] = None,
     ) -> LaunchResult:
         """Execute a kernel over the given grid and collect cost/race reports."""
         grid_dim = normalize_dim3(grid_dim)
         block_dim = normalize_dim3(block_dim)
         self._validate_launch(grid_dim, block_dim)
 
+        mode = execution_mode if execution_mode is not None else self.execution_mode
+        engine = get_engine(mode)
         cost = CostModel(self.cost_parameters)
         races_enabled = self.detect_races if detect_races is None else detect_races
         detector = RaceDetector() if races_enabled else None
 
-        barriers = 0
-        for block_idx in _iter_indices(grid_dim):
-            stats = run_block(
-                kernel=kernel,
-                args=tuple(args),
-                block_idx=block_idx,
-                block_dim=block_dim,
-                grid_dim=grid_dim,
-                cost=cost,
-                races=detector,
-            )
-            barriers += stats.barriers
+        stats = engine.run(
+            kernel=kernel,
+            args=tuple(args),
+            grid_dim=grid_dim,
+            block_dim=block_dim,
+            cost=cost,
+            races=detector,
+            warp_size=self.properties.warp_size,
+        )
 
         threads_per_block = block_dim[0] * block_dim[1] * block_dim[2]
         blocks = grid_dim[0] * grid_dim[1] * grid_dim[2]
@@ -185,7 +198,8 @@ class GpuDevice:
             block_dim=block_dim,
             cost=cost.finalize(blocks=blocks, threads_per_block=threads_per_block),
             races=detector.check() if detector is not None else [],
-            barriers=barriers,
+            barriers=stats.barriers,
+            execution_mode=mode,
         )
         self.launch_log.append(result)
         return result

@@ -25,12 +25,22 @@ Dim3 = Tuple[int, int, int]
 
 
 def normalize_dim3(dim) -> Dim3:
-    """Accept ints, 1/2/3-tuples and fill missing dimensions with 1."""
-    if isinstance(dim, int):
-        return (dim, 1, 1)
-    values = tuple(int(v) for v in dim)
+    """Accept ints, 1/2/3-tuples and fill missing dimensions with 1.
+
+    Zero or negative extents are rejected here rather than producing an empty
+    grid that would silently execute no threads at all.
+    """
+    if isinstance(dim, (int, np.integer)):
+        values: Tuple[int, ...] = (int(dim),)
+    else:
+        values = tuple(int(v) for v in dim)
     if len(values) > 3 or not values:
         raise DeviceMemoryError(f"invalid launch dimension {dim!r}")
+    if any(value <= 0 for value in values):
+        raise DeviceMemoryError(
+            f"invalid launch dimension {dim!r}: every extent must be positive, "
+            "an empty grid would silently execute no threads"
+        )
     return (values + (1, 1, 1))[:3]
 
 
@@ -188,6 +198,7 @@ def run_block(
     grid_dim: Dim3,
     cost: Optional[CostModel],
     races: Optional[RaceDetector],
+    warp_size: int = 32,
 ) -> BlockRunStats:
     """Execute all threads of one block, respecting barriers."""
     shared_pool: Dict[str, DeviceBuffer] = {}
@@ -204,6 +215,7 @@ def run_block(
             cost=cost,
             races=races,
             shared_pool=shared_pool,
+            warp_size=warp_size,
         )
         contexts.append(ctx)
         result = kernel(ctx, *args)

@@ -13,13 +13,24 @@ same element race when
 This is the dynamic counterpart of Descend's static access-safety check: the
 handwritten buggy CUDA kernel of Listing 1 races *dynamically* here, while
 the Descend type checker rejects the equivalent program *statically*.
+
+Accesses arrive one at a time (:meth:`RaceDetector.record`, the per-thread
+reference interpreter) or as whole numpy batches
+(:meth:`RaceDetector.record_batch`, the warp-vectorized engine).  Batches are
+analysed with vectorized grouping in :meth:`RaceDetector.check`; only the
+few locations that actually race are materialised into
+:class:`RecordedAccess` objects for reporting.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import DefaultDict, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import DefaultDict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gpusim.grouping import group_representatives, row_group_ids
 
 
 @dataclass(frozen=True)
@@ -53,15 +64,66 @@ class RaceReport:
         )
 
 
+@dataclass(frozen=True)
+class _AccessBatch:
+    """One vectorized operation: every array has one entry per active lane.
+
+    ``offsets`` are the detector's grouping keys; ``report_offsets`` (when
+    given) are the user-facing element offsets shown in race reports.  The
+    vectorized engine rebases per-block shared memory to block-disjoint key
+    offsets while reporting the true within-block offset.
+    """
+
+    buffer_id: int
+    offsets: np.ndarray
+    blocks: np.ndarray
+    threads: np.ndarray
+    epoch: int
+    is_write: bool
+    buffer_label: str = ""
+    report_offsets: Optional[np.ndarray] = None
+
+
 class RaceDetector:
     """Collects accesses of one kernel launch and reports data races."""
 
     def __init__(self, max_reports: int = 16) -> None:
         self._by_location: DefaultDict[Tuple[int, int], List[RecordedAccess]] = defaultdict(list)
+        self._batches: List[_AccessBatch] = []
         self.max_reports = max_reports
 
     def record(self, access: RecordedAccess) -> None:
         self._by_location[(access.buffer_id, access.offset)].append(access)
+
+    def record_batch(
+        self,
+        buffer_id: int,
+        offsets: np.ndarray,
+        blocks: np.ndarray,
+        threads: np.ndarray,
+        epoch: int,
+        is_write: bool,
+        buffer_label: str = "",
+        report_offsets: Optional[np.ndarray] = None,
+    ) -> None:
+        """Record one vectorized operation (all lanes share epoch/direction)."""
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if offsets.size == 0:
+            return
+        self._batches.append(
+            _AccessBatch(
+                buffer_id=buffer_id,
+                offsets=offsets,
+                blocks=np.asarray(blocks, dtype=np.int64),
+                threads=np.asarray(threads, dtype=np.int64),
+                epoch=epoch,
+                is_write=is_write,
+                buffer_label=buffer_label,
+                report_offsets=(
+                    None if report_offsets is None else np.asarray(report_offsets, dtype=np.int64)
+                ),
+            )
+        )
 
     @staticmethod
     def _conflict(a: RecordedAccess, b: RecordedAccess) -> bool:
@@ -73,30 +135,139 @@ class RaceDetector:
             return True
         return a.epoch == b.epoch
 
+    @classmethod
+    def _find_report(cls, accesses: List[RecordedAccess]) -> Optional[RaceReport]:
+        """First conflicting (write, other) pair at one location, if any."""
+        if len(accesses) < 2:
+            return None
+        writes = [a for a in accesses if a.is_write]
+        # Compare writes against everything; this is O(w * n) per location,
+        # which is fine for the element counts the interpreter handles.
+        for write in writes:
+            for other in accesses:
+                if other is write:
+                    continue
+                if cls._conflict(write, other):
+                    return RaceReport(write, other)
+        return None
+
     def check(self) -> List[RaceReport]:
         """Return up to ``max_reports`` detected races."""
         reports: List[RaceReport] = []
         for accesses in self._by_location.values():
             if len(reports) >= self.max_reports:
                 break
-            if len(accesses) < 2:
-                continue
-            writes = [a for a in accesses if a.is_write]
-            if not writes:
-                continue
-            # Compare writes against everything; this is O(w * n) per location,
-            # which is fine for the element counts the interpreter handles.
-            for write in writes:
-                for other in accesses:
-                    if other is write:
-                        continue
-                    if self._conflict(write, other):
-                        reports.append(RaceReport(write, other))
-                        break
-                else:
-                    continue
+            report = self._find_report(accesses)
+            if report is not None:
+                reports.append(report)
+        if self._batches and len(reports) < self.max_reports:
+            reports.extend(self._check_batches(self.max_reports - len(reports)))
+        return reports
+
+    # -- batched analysis -------------------------------------------------------
+    def _batch_columns(self):
+        sizes = [len(batch.offsets) for batch in self._batches]
+        bid = np.concatenate(
+            [np.full(n, batch.buffer_id, dtype=np.int64) for batch, n in zip(self._batches, sizes)]
+        )
+        off = np.concatenate([batch.offsets for batch in self._batches])
+        roff = np.concatenate(
+            [
+                batch.offsets if batch.report_offsets is None else batch.report_offsets
+                for batch in self._batches
+            ]
+        )
+        blk = np.concatenate([batch.blocks for batch in self._batches])
+        thr = np.concatenate([batch.threads for batch in self._batches])
+        epo = np.concatenate(
+            [np.full(n, batch.epoch, dtype=np.int64) for batch, n in zip(self._batches, sizes)]
+        )
+        wrt = np.concatenate(
+            [np.full(n, batch.is_write, dtype=bool) for batch, n in zip(self._batches, sizes)]
+        )
+        return bid, off, roff, blk, thr, epo, wrt
+
+    def _check_batches(self, limit: int) -> List[RaceReport]:
+        """Vectorized race detection over all batches.
+
+        A location ``(buffer, offset)`` races iff
+
+        * accesses from >= 2 distinct blocks include a write (cross-block
+          accesses are never ordered), or
+        * within one ``(block, epoch)`` group, >= 2 distinct threads access it
+          and at least one writes (nothing orders threads between barriers).
+        """
+        bid, off, roff, blk, thr, epo, wrt = self._batch_columns()
+
+        loc_ids, n_locs = row_group_ids(bid, off)
+        has_write = np.zeros(n_locs, dtype=bool)
+        has_write[loc_ids[wrt]] = True
+
+        # Cross-block: locations touched by >= 2 blocks with at least one write.
+        loc_block_ids, n_loc_blocks = row_group_ids(loc_ids, blk)
+        loc_of_pair = group_representatives(loc_block_ids, n_loc_blocks, loc_ids)
+        blocks_per_loc = np.bincount(loc_of_pair, minlength=n_locs)
+        racy_locs = (blocks_per_loc >= 2) & has_write
+
+        # Same block, same epoch: >= 2 distinct threads with at least one write.
+        group_ids, n_groups = row_group_ids(loc_ids, blk, epo)
+        member_ids, n_members = row_group_ids(group_ids, thr)
+        group_of_member = group_representatives(member_ids, n_members, group_ids)
+        threads_per_group = np.bincount(group_of_member, minlength=n_groups)
+        group_has_write = np.zeros(n_groups, dtype=bool)
+        group_has_write[group_ids[wrt]] = True
+        racy_groups = (threads_per_group >= 2) & group_has_write
+        loc_of_group = group_representatives(group_ids, n_groups, loc_ids)
+        racy_locs[loc_of_group[racy_groups]] = True
+
+        if not racy_locs.any():
+            return []
+
+        labels = {batch.buffer_id: batch.buffer_label for batch in self._batches}
+
+        def materialize(i: int) -> RecordedAccess:
+            return RecordedAccess(
+                buffer_id=int(bid[i]),
+                offset=int(roff[i]),
+                block=int(blk[i]),
+                thread=int(thr[i]),
+                epoch=int(epo[i]),
+                is_write=bool(wrt[i]),
+                buffer_label=labels.get(int(bid[i]), ""),
+            )
+
+        reports: List[RaceReport] = []
+        for loc in np.nonzero(racy_locs)[0]:
+            pair = self._pair_for_location(np.nonzero(loc_ids == loc)[0], blk, thr, epo, wrt)
+            if pair is not None:
+                reports.append(RaceReport(materialize(pair[0]), materialize(pair[1])))
+            if len(reports) >= limit:
                 break
         return reports
 
+    @staticmethod
+    def _pair_for_location(lanes, blk, thr, epo, wrt):
+        """One conflicting (write, other) lane pair at a known-racy location.
+
+        Mirrors the two rules of :meth:`_check_batches` exactly, so a pair is
+        found whenever one of them flagged the location — no sampling.
+        """
+        write_lanes = lanes[wrt[lanes]]
+        if write_lanes.size == 0:
+            return None
+        # Cross-block: any write conflicts with any access in another block.
+        first_write = write_lanes[0]
+        other_block = lanes[blk[lanes] != blk[first_write]]
+        if other_block.size:
+            return int(first_write), int(other_block[0])
+        # Same block: a write and a different thread in the same epoch.
+        for write in write_lanes:
+            conflicting = lanes[(epo[lanes] == epo[write]) & (thr[lanes] != thr[write])]
+            if conflicting.size:
+                return int(write), int(conflicting[0])
+        return None
+
     def access_count(self) -> int:
-        return sum(len(v) for v in self._by_location.values())
+        scalar = sum(len(v) for v in self._by_location.values())
+        batched = sum(len(batch.offsets) for batch in self._batches)
+        return scalar + batched

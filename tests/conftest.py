@@ -15,6 +15,12 @@ def device() -> GpuDevice:
 
 
 @pytest.fixture
+def device_vectorized() -> GpuDevice:
+    """A fresh device defaulting to the warp-vectorized execution engine."""
+    return GpuDevice(execution_mode="vectorized")
+
+
+@pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator for test data."""
     return np.random.default_rng(1234)

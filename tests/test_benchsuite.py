@@ -1,11 +1,19 @@
 """Tests for the benchmark harness (Figure 8 and the ablations)."""
 
+import json
 import math
 
 import pytest
 
 from repro.benchsuite import BENCHMARKS, SIZES, run_benchmark_pair, workload
 from repro.benchsuite.ablation import coalescing_ablation, typecheck_cost
+from repro.benchsuite.enginebench import (
+    EngineBenchResult,
+    EngineBenchRow,
+    compare_engines,
+    run_engine_bench,
+    write_report,
+)
 from repro.benchsuite.figure8 import Figure8Result, Figure8Row, run_figure8
 from repro.benchsuite.report import format_bytes, format_table
 from repro.benchsuite.workloads import all_workloads
@@ -47,6 +55,51 @@ class TestRunner:
     def test_relative_runtime_definition(self):
         run = run_benchmark_pair("transpose", "small")
         assert run.relative_runtime == pytest.approx(run.descend.cycles / run.cuda.cycles)
+
+    def test_vectorized_engine_gives_same_figure8_cell(self):
+        reference = run_benchmark_pair("transpose", "small")
+        vectorized = run_benchmark_pair("transpose", "small", engine="vectorized")
+        assert vectorized.cuda.cycles == reference.cuda.cycles
+        assert vectorized.cuda.correct
+        assert vectorized.relative_runtime == pytest.approx(reference.relative_runtime)
+
+
+class TestEngineBench:
+    def test_compare_engines_parity_and_speedup(self):
+        row = compare_engines("transpose", "small")
+        assert row.cycles_match
+        assert row.reference_cycles == row.vectorized_cycles > 0
+        assert row.speedup > 1.0
+
+    def test_run_engine_bench_and_report(self, tmp_path):
+        result = run_engine_bench(benchmarks=("reduce",), sizes=("small",))
+        assert len(result.rows) == 1
+        assert result.all_cycles_match
+        table = result.to_table()
+        assert "reduce" in table and "speedup" in table
+        path = tmp_path / "BENCH_test.json"
+        payload = write_report(result, str(path), quick=True)
+        on_disk = json.loads(path.read_text())
+        assert on_disk["kind"] == "engine-bench"
+        assert on_disk["all_cycles_match"] is True
+        assert on_disk["quick"] is True
+        assert on_disk["workloads"][0]["benchmark"] == "reduce"
+        assert payload["geometric_mean_speedup"] == pytest.approx(
+            on_disk["geometric_mean_speedup"]
+        )
+
+    def test_aggregates(self):
+        result = EngineBenchResult(
+            rows=[
+                EngineBenchRow("a", "small", 10.0, 10.0, 4.0, 1.0, 8),
+                EngineBenchRow("b", "small", 20.0, 20.0, 9.0, 1.0, 8),
+            ]
+        )
+        assert result.all_cycles_match
+        assert result.min_speedup == pytest.approx(4.0)
+        assert result.geometric_mean_speedup == pytest.approx(6.0)
+        mismatched = EngineBenchRow("c", "small", 10.0, 11.0, 1.0, 1.0, 8)
+        assert not mismatched.cycles_match
 
 
 class TestFigure8:

@@ -73,3 +73,20 @@ def test_syntax_error_is_reported(tmp_path, capsys):
     path.write_text("fn oops(")
     assert main(["check", str(path)]) == 1
     assert "error" in capsys.readouterr().err
+
+
+def test_bench_quick_writes_report(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "BENCH_cli.json"
+    assert main(["bench", "--quick", "--benchmarks", "transpose", "--output", str(out_path)]) == 0
+    assert "speedup" in capsys.readouterr().out
+    payload = json.loads(out_path.read_text())
+    assert payload["all_cycles_match"] is True
+    assert payload["workloads"][0]["benchmark"] == "transpose"
+
+
+def test_figure8_engine_flag(capsys):
+    assert main(["figure8", "--benchmarks", "transpose", "--sizes", "small",
+                 "--engine", "vectorized"]) == 0
+    assert "transpose" in capsys.readouterr().out

@@ -1,0 +1,463 @@
+"""Tests for the warp-vectorized execution engine and its batched recording.
+
+The core property is *parity*: for every ported kernel the vectorized engine
+must produce bit-identical results, exactly equal cycle counts, and the same
+race verdicts as the per-thread reference interpreter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cudalite.kernels import buggy, matmul, reduce, scan, transpose, vector
+from repro.errors import DeviceMemoryError, LaunchConfigurationError
+from repro.gpusim import CostModel, GpuDevice, RaceDetector, vectorized_impl
+from repro.gpusim.cost import MemoryAccess
+from repro.gpusim.engine import EXECUTION_MODES, get_engine, resolve_reference, resolve_vectorized
+
+
+def run_both(run, data):
+    """Run a scenario on both engines; returns {mode: (result, launches)}."""
+    out = {}
+    for mode in EXECUTION_MODES:
+        device = GpuDevice(execution_mode=mode)
+        out[mode] = run(device, data)
+    return out
+
+
+def assert_parity(out, *, racy=False):
+    ref_result, ref_launches = out["reference"]
+    vec_result, vec_launches = out["vectorized"]
+    if not racy:
+        assert np.array_equal(ref_result, vec_result)
+    assert len(ref_launches) == len(vec_launches)
+    for ref, vec in zip(ref_launches, vec_launches):
+        assert ref.cycles == vec.cycles, (ref.cost.summary(), vec.cost.summary())
+        assert ref.cost.summary() == vec.cost.summary()
+        assert ref.barriers == vec.barriers
+        assert bool(ref.races) == bool(vec.races)
+    return ref_launches, vec_launches
+
+
+class TestKernelParity:
+    def test_reduce(self, rng):
+        data = rng.random(2048)
+
+        def run(device, data):
+            input_buf = device.to_device(data)
+            output_buf = device.malloc((32,))
+            launch = device.launch(
+                reduce.block_reduce_kernel, grid_dim=(32,), block_dim=(64,),
+                args=(input_buf, output_buf),
+            )
+            return device.to_host(output_buf), [launch]
+
+        out = run_both(run, data)
+        assert_parity(out)
+        assert np.allclose(out["vectorized"][0], data.reshape(32, 64).sum(axis=1))
+
+    def test_transpose(self, rng):
+        n, tile, rows = 64, 16, 4
+        data = rng.random((n, n))
+
+        def run(device, data):
+            input_buf = device.to_device(data.reshape(-1))
+            output_buf = device.malloc((n * n,))
+            launch = device.launch(
+                transpose.transpose_kernel, grid_dim=(n // tile, n // tile),
+                block_dim=(tile, rows), args=(input_buf, output_buf, n, tile),
+            )
+            return device.to_host(output_buf).reshape(n, n), [launch]
+
+        out = run_both(run, data)
+        assert_parity(out)
+        assert np.allclose(out["vectorized"][0], data.T)
+
+    def test_naive_transpose(self, rng):
+        n, tile, rows = 32, 16, 4
+        data = rng.random((n, n))
+
+        def run(device, data):
+            input_buf = device.to_device(data.reshape(-1))
+            output_buf = device.malloc((n * n,))
+            launch = device.launch(
+                transpose.naive_transpose_kernel, grid_dim=(n // tile, n // tile),
+                block_dim=(tile, rows), args=(input_buf, output_buf, n, tile),
+            )
+            return device.to_host(output_buf).reshape(n, n), [launch]
+
+        out = run_both(run, data)
+        assert_parity(out)
+
+    def test_scan(self, rng):
+        n, block_size, per_thread = 1024, 32, 4
+        blocks = n // (block_size * per_thread)
+        data = rng.random(n)
+
+        def run(device, data):
+            input_buf = device.to_device(data)
+            output_buf = device.malloc((n,))
+            sums_buf = device.malloc((blocks,))
+            first = device.launch(
+                scan.scan_block_kernel, grid_dim=(blocks,), block_dim=(block_size,),
+                args=(input_buf, output_buf, sums_buf, per_thread),
+            )
+            offsets = scan.exclusive_scan_on_host(device.to_host(sums_buf))
+            offsets_buf = device.to_device(offsets)
+            second = device.launch(
+                scan.add_offsets_kernel, grid_dim=(blocks,), block_dim=(block_size,),
+                args=(output_buf, offsets_buf, per_thread),
+            )
+            return device.to_host(output_buf), [first, second]
+
+        out = run_both(run, data)
+        assert_parity(out)
+        assert np.allclose(out["vectorized"][0], np.cumsum(data))
+
+    def test_matmul(self, rng):
+        m = k = n = 16
+        tile = 8
+        a, b = rng.random((m, k)), rng.random((k, n))
+
+        def run(device, data):
+            a_arr, b_arr = data
+            a_buf = device.to_device(a_arr.reshape(-1))
+            b_buf = device.to_device(b_arr.reshape(-1))
+            c_buf = device.malloc((m * n,))
+            launch = device.launch(
+                matmul.matmul_kernel, grid_dim=(n // tile, m // tile),
+                block_dim=(tile, tile), args=(a_buf, b_buf, c_buf, m, k, n, tile),
+            )
+            return device.to_host(c_buf).reshape(m, n), [launch]
+
+        out = run_both(run, (a, b))
+        assert_parity(out)
+        assert np.allclose(out["vectorized"][0], a @ b)
+
+    @pytest.mark.parametrize(
+        "kernel,extra", [
+            (vector.scale_vec_kernel, (3.0,)),
+            (vector.init_kernel, (7.0,)),
+        ],
+    )
+    def test_vector_kernels(self, rng, kernel, extra):
+        data = rng.random(128)
+
+        def run(device, data):
+            buf = device.to_device(data)
+            launch = device.launch(kernel, grid_dim=(4,), block_dim=(32,), args=(buf, *extra))
+            return device.to_host(buf), [launch]
+
+        assert_parity(run_both(run, data))
+
+    def test_saxpy_and_vec_add(self, rng):
+        x, y = rng.random(64), rng.random(64)
+
+        def run(device, data):
+            x_arr, y_arr = data
+            dx, dy = device.to_device(x_arr), device.to_device(y_arr)
+            out = device.malloc((64,))
+            l1 = device.launch(vector.saxpy_kernel, grid_dim=(2,), block_dim=(32,), args=(dy, dx, 0.5))
+            l2 = device.launch(vector.vec_add_kernel, grid_dim=(2,), block_dim=(32,), args=(out, dx, dy))
+            return device.to_host(out), [l1, l2]
+
+        out = run_both(run, (x, y))
+        assert_parity(out)
+        assert np.allclose(out["vectorized"][0], x + (0.5 * x + y))
+
+
+class TestRaceInjection:
+    def test_buggy_transpose_races_on_both_engines(self, rng):
+        """The Listing 1 bug must be caught by the batched detector too."""
+        n, tile, rows = 32, 16, 4
+        data = rng.random((n, n))
+
+        def run(device, data):
+            input_buf = device.to_device(data.reshape(-1))
+            output_buf = device.malloc((n * n,))
+            launch = device.launch(
+                buggy.buggy_transpose_kernel, grid_dim=(n // tile, n // tile),
+                block_dim=(tile, rows), args=(input_buf, output_buf, n, tile),
+            )
+            return device.to_host(output_buf), [launch]
+
+        out = run_both(run, data)
+        ref_launches, vec_launches = assert_parity(out, racy=True)
+        assert len(ref_launches[0].races) == len(vec_launches[0].races) > 0
+        assert "data race" in vec_launches[0].races[0].describe()
+
+    def test_scatter_to_same_offset_races(self, device_vectorized):
+        def ref(ctx, out):
+            ctx.store(out, 0, float(ctx.threadIdx.x))
+            return
+            yield
+
+        @vectorized_impl(ref)
+        def vec(ctx, out):
+            ctx.store(out, 0, ctx.threadIdx.x.astype(np.float64))
+
+        buf = device_vectorized.malloc((4,))
+        launch = device_vectorized.launch(ref, grid_dim=(1,), block_dim=(8,), args=(buf,))
+        assert launch.races
+
+    def test_write_beyond_first_lanes_still_detected(self):
+        """A single write hidden behind >256 reads at one location must be found."""
+
+        def ref(ctx, out):
+            sh = ctx.shared("s", (1,))
+            ctx.load(sh, 0)
+            if ctx.threadIdx.x == 300:
+                ctx.store(sh, 0, 1.0)
+            return
+            yield
+
+        @vectorized_impl(ref)
+        def vec(ctx, out):
+            sh = ctx.shared("s", (1,))
+            ctx.load(sh, 0)
+            ctx.store(sh, 0, 1.0, where=ctx.threadIdx.x == 300)
+
+        counts = {}
+        for mode in ("reference", "vectorized"):
+            device = GpuDevice(execution_mode=mode)
+            buf = device.malloc((1,))
+            launch = device.launch(ref, grid_dim=(1,), block_dim=(1024,), args=(buf,))
+            counts[mode] = len(launch.races)
+        assert counts["reference"] == counts["vectorized"] == 1
+
+    def test_shared_race_reports_within_block_offset(self, device_vectorized, rng):
+        """Reports show the in-tile offset, not the block-stacked detector key."""
+        n, tile, rows = 64, 16, 4
+        data = rng.random((n, n))
+        input_buf = device_vectorized.to_device(data.reshape(-1))
+        output_buf = device_vectorized.malloc((n * n,))
+        launch = device_vectorized.launch(
+            buggy.buggy_transpose_kernel, grid_dim=(n // tile, n // tile),
+            block_dim=(tile, rows), args=(input_buf, output_buf, n, tile),
+        )
+        assert launch.races
+        assert all(report.first.offset < tile * tile for report in launch.races)
+
+    def test_epoch_separation_suppresses_race(self, device_vectorized):
+        """A write and a read separated by ctx.sync() must not race."""
+
+        def ref(ctx, out):
+            if ctx.threadIdx.x == 0:
+                ctx.store(out, 0, 1.0)
+            yield
+            if ctx.threadIdx.x == 1:
+                ctx.load(out, 0)
+
+        @vectorized_impl(ref)
+        def vec(ctx, out):
+            ctx.store(out, 0, 1.0, where=ctx.threadIdx.x == 0)
+            ctx.sync()
+            ctx.load(out, 0, where=ctx.threadIdx.x == 1)
+
+        buf = device_vectorized.malloc((1,), label="flag")
+        launch = device_vectorized.launch(ref, grid_dim=(1,), block_dim=(4,), args=(buf,))
+        assert not launch.races
+
+
+class TestBatchedRecorders:
+    def test_batched_cost_equals_scalar_cost(self, rng):
+        """Feeding identical accesses through both paths gives identical cycles."""
+        scalar = CostModel()
+        batched = CostModel()
+        blocks = rng.integers(0, 4, size=200)
+        warps = rng.integers(0, 2, size=200)
+        slots = rng.integers(0, 6, size=200)
+        addresses = rng.integers(0, 4096, size=200) * 8
+        for space in ("global", "shared"):
+            for block, warp, slot, address in zip(blocks, warps, slots, addresses):
+                scalar.record_access(
+                    MemoryAccess(
+                        block=int(block), warp=int(warp), slot=int(slot),
+                        address=int(address), is_write=False, space=space,
+                    )
+                )
+            batched.record_access_batch(
+                blocks=blocks, warps=warps, slots=slots, addresses=addresses,
+                is_write=False, space=space,
+            )
+        a = scalar.finalize(blocks=4, threads_per_block=64)
+        b = batched.finalize(blocks=4, threads_per_block=64)
+        assert a.summary() == b.summary()
+
+    def test_batched_local_space_counts_as_arithmetic(self):
+        scalar = CostModel()
+        batched = CostModel()
+        for _ in range(10):
+            scalar.record_access(
+                MemoryAccess(block=0, warp=0, slot=0, address=0, is_write=False, space="local")
+            )
+        batched.record_access_batch(
+            blocks=np.zeros(10, dtype=np.int64), warps=np.zeros(10, dtype=np.int64),
+            slots=np.zeros(10, dtype=np.int64), addresses=np.zeros(10, dtype=np.int64),
+            is_write=False, space="local",
+        )
+        assert scalar.finalize(1, 32).cycles == batched.finalize(1, 32).cycles
+
+    def _batch(self, detector, offsets, blocks, threads, epoch, is_write):
+        detector.record_batch(
+            buffer_id=1,
+            offsets=np.asarray(offsets), blocks=np.asarray(blocks),
+            threads=np.asarray(threads), epoch=epoch, is_write=is_write,
+            buffer_label="buf",
+        )
+
+    def test_batched_write_write_race(self):
+        detector = RaceDetector()
+        self._batch(detector, [0, 0], [0, 0], [0, 1], epoch=0, is_write=True)
+        reports = detector.check()
+        assert reports and "data race" in reports[0].describe()
+
+    def test_batched_read_read_no_race(self):
+        detector = RaceDetector()
+        self._batch(detector, [0, 0], [0, 0], [0, 1], epoch=0, is_write=False)
+        assert not detector.check()
+
+    def test_batched_epoch_separation(self):
+        detector = RaceDetector()
+        self._batch(detector, [0], [0], [0], epoch=0, is_write=True)
+        self._batch(detector, [0], [0], [1], epoch=1, is_write=False)
+        assert not detector.check()
+
+    def test_batched_cross_block_race_despite_epochs(self):
+        detector = RaceDetector()
+        self._batch(detector, [0], [0], [0], epoch=0, is_write=True)
+        self._batch(detector, [0], [1], [0], epoch=1, is_write=False)
+        assert detector.check()
+
+    def test_batched_same_thread_no_race(self):
+        detector = RaceDetector()
+        self._batch(detector, [0], [0], [0], epoch=0, is_write=True)
+        self._batch(detector, [0], [0], [0], epoch=0, is_write=True)
+        assert not detector.check()
+
+    def test_batched_access_count(self):
+        detector = RaceDetector()
+        self._batch(detector, [0, 1, 2], [0, 0, 0], [0, 1, 2], epoch=0, is_write=False)
+        assert detector.access_count() == 3
+
+
+class TestEngineSelection:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(LaunchConfigurationError):
+            GpuDevice(execution_mode="simd")
+        with pytest.raises(LaunchConfigurationError):
+            get_engine("simd")
+
+    def test_unported_kernel_rejected_in_vectorized_mode(self, device_vectorized):
+        def lonely_kernel(ctx, out):
+            return
+            yield
+
+        buf = device_vectorized.malloc((4,))
+        with pytest.raises(LaunchConfigurationError, match="no vectorized implementation"):
+            device_vectorized.launch(lonely_kernel, grid_dim=(1,), block_dim=(4,), args=(buf,))
+
+    def test_per_launch_override(self, device):
+        data = np.arange(64, dtype=np.float64)
+        buf = device.to_device(data)
+        result = device.launch(
+            vector.scale_vec_kernel, grid_dim=(2,), block_dim=(32,),
+            args=(buf, 2.0), execution_mode="vectorized",
+        )
+        assert result.execution_mode == "vectorized"
+        assert np.array_equal(device.to_host(buf), data * 2.0)
+        assert device.launch_log[-1].execution_mode == "vectorized"
+
+    def test_resolution_is_symmetric(self):
+        vec = resolve_vectorized(vector.scale_vec_kernel)
+        assert vec is vector.scale_vec_kernel_vec
+        assert resolve_reference(vec) is vector.scale_vec_kernel
+        assert resolve_vectorized(vec) is vec
+
+    def test_vectorized_kernel_runs_under_reference_engine(self, device, rng):
+        """Passing the vectorized function still works in reference mode."""
+        data = rng.random(64)
+        buf = device.to_device(data)
+        device.launch(vector.scale_vec_kernel_vec, grid_dim=(2,), block_dim=(32,), args=(buf, 2.0))
+        assert np.allclose(device.to_host(buf), data * 2.0)
+
+
+class TestVecCtxSemantics:
+    def test_masked_out_of_bounds_lanes_are_not_accesses(self, device_vectorized):
+        """Inactive lanes may hold out-of-range offsets (like reduce's tid+stride)."""
+
+        def ref(ctx, buf):
+            if ctx.threadIdx.x < 2:
+                ctx.load(buf, ctx.threadIdx.x)
+            return
+            yield
+
+        @vectorized_impl(ref)
+        def vec(ctx, buf):
+            tid = ctx.threadIdx.x
+            ctx.load(buf, tid * 1000, where=tid < 2)  # lanes >= 2 out of range
+
+        buf = device_vectorized.malloc((2000,))
+        device_vectorized.launch(ref, grid_dim=(1,), block_dim=(8,), args=(buf,))
+
+    def test_unmasked_out_of_bounds_raises(self, device_vectorized):
+        def ref(ctx, buf):
+            ctx.load(buf, ctx.threadIdx.x)
+            return
+            yield
+
+        @vectorized_impl(ref)
+        def vec(ctx, buf):
+            ctx.load(buf, ctx.threadIdx.x + 100)
+
+        buf = device_vectorized.malloc((8,))
+        with pytest.raises(DeviceMemoryError):
+            device_vectorized.launch(ref, grid_dim=(1,), block_dim=(8,), args=(buf,))
+
+    def test_generator_vectorized_kernel_rejected(self, device_vectorized):
+        def ref(ctx):
+            return
+            yield
+
+        @vectorized_impl(ref)
+        def vec(ctx):
+            yield
+
+        with pytest.raises(LaunchConfigurationError, match="plain functions"):
+            device_vectorized.launch(ref, grid_dim=(1,), block_dim=(4,))
+
+    def test_shared_memory_is_per_block(self, device_vectorized):
+        """Each block sees its own copy of a shared buffer."""
+
+        def ref(ctx, out):
+            sh = ctx.shared("s", (1,))
+            if ctx.threadIdx.x == 0:
+                ctx.store(sh, 0, float(ctx.blockIdx.x))
+            yield
+            if ctx.threadIdx.x == 1:
+                ctx.store(out, ctx.blockIdx.x, ctx.load(sh, 0))
+
+        @vectorized_impl(ref)
+        def vec(ctx, out):
+            sh = ctx.shared("s", (1,))
+            first = ctx.threadIdx.x == 0
+            ctx.store(sh, 0, ctx.blockIdx.x.astype(np.float64), where=first)
+            ctx.sync()
+            second = ctx.threadIdx.x == 1
+            ctx.store(out, ctx.blockIdx.x, ctx.load(sh, 0, where=second), where=second)
+
+        out = device_vectorized.malloc((4,))
+        launch = device_vectorized.launch(ref, grid_dim=(4,), block_dim=(2,), args=(out,))
+        assert np.array_equal(device_vectorized.to_host(out), np.arange(4, dtype=np.float64))
+        assert not launch.races
+
+    def test_barrier_accounting_matches_reference(self, device, device_vectorized, rng):
+        data = rng.random(256)
+        results = []
+        for dev in (device, device_vectorized):
+            buf = dev.to_device(data)
+            out = dev.malloc((4,))
+            launch = dev.launch(
+                reduce.block_reduce_kernel, grid_dim=(4,), block_dim=(64,), args=(buf, out)
+            )
+            results.append(launch)
+        assert results[0].barriers == results[1].barriers > 0

@@ -69,8 +69,20 @@ class TestDevice:
 
         with pytest.raises(LaunchConfigurationError):
             device.launch(kernel, grid_dim=(1,), block_dim=(2048,))
-        with pytest.raises(LaunchConfigurationError):
+        # zero extents are rejected while normalizing, before validation
+        with pytest.raises(DeviceMemoryError):
             device.launch(kernel, grid_dim=(0,), block_dim=(32,))
+
+    def test_empty_and_negative_dims_rejected(self, device):
+        from repro.gpusim.launch import normalize_dim3
+
+        for bad in (0, -1, (0,), (4, 0), (1, 2, -3)):
+            with pytest.raises(DeviceMemoryError):
+                normalize_dim3(bad)
+        with pytest.raises(DeviceMemoryError):
+            normalize_dim3((1, 2, 3, 4))
+        assert normalize_dim3(4) == (4, 1, 1)
+        assert normalize_dim3((2, 3)) == (2, 3, 1)
 
     def test_simple_launch_and_allocation_tracking(self, device):
         buf = device.to_device(np.arange(32, dtype=np.float64))

@@ -7,6 +7,7 @@ at compile time, per benchmark program.
 
 import pytest
 
+from repro.descend.nat import NatVar, as_nat, clear_nat_caches, evaluate_nat, normalize
 from repro.descend.typeck import check_program
 from repro.descend_programs.matmul import build_matmul_program
 from repro.descend_programs.reduce import build_reduce_program
@@ -28,3 +29,58 @@ def test_typecheck_time(benchmark, name):
     program = _PROGRAMS[name]()
     checked = benchmark(check_program, program)
     assert checked.fn_types
+
+
+# The reduction stride family `block_size / 2^(k+1)` is the hottest nat in
+# the repo: the reference interpreter evaluates it per thread per statement,
+# and the type checker normalises it for every reduction step.
+_STRIDES = [as_nat(64) / (as_nat(2) ** (NatVar("k") + 1)) for _ in range(4)]
+
+
+def _normalize_sweep():
+    for stride in _STRIDES:
+        for offset in range(6):
+            normalize(stride + offset)
+
+
+def _evaluate_sweep():
+    total = 0
+    for stride in _STRIDES:
+        for k in range(6):
+            total += evaluate_nat(stride, {"k": k})
+    return total
+
+
+def test_nat_normalize_memoized(benchmark):
+    """Warm-cache normalisation of the reduce-stride expression family."""
+    clear_nat_caches()
+    _normalize_sweep()  # populate the cache once
+    benchmark(_normalize_sweep)
+
+
+def test_nat_normalize_cold(benchmark):
+    """Cold-cache baseline: every round pays the full polynomial rebuild."""
+
+    def run():
+        clear_nat_caches()
+        _normalize_sweep()
+
+    benchmark(run)
+
+
+def test_nat_evaluate_memoized(benchmark):
+    """Warm-cache evaluation (what the interpreter's hot loop hits)."""
+    clear_nat_caches()
+    assert _evaluate_sweep() == 4 * sum(64 // 2 ** (k + 1) for k in range(6))
+    result = benchmark(_evaluate_sweep)
+    assert result == 4 * sum(64 // 2 ** (k + 1) for k in range(6))
+
+
+def test_nat_evaluate_cold(benchmark):
+    """Cold-cache baseline for the same evaluation sweep."""
+
+    def run():
+        clear_nat_caches()
+        return _evaluate_sweep()
+
+    benchmark(run)

@@ -2,7 +2,7 @@
 
 Running ``python -m repro.cli bench`` (or ``python -m
 repro.benchsuite.enginebench``) executes every selected Figure 8 workload
-twice on the CUDA-lite kernels — once per execution engine — and reports
+twice — once per execution engine — and reports
 
 * the simulated kernel cycles of both engines (they must be *identical*;
   a mismatch aborts with :class:`BenchmarkError`, which is the regression
@@ -10,8 +10,15 @@ twice on the CUDA-lite kernels — once per execution engine — and reports
 * the wall-clock time of running the simulator itself, plus the resulting
   speedup of the vectorized engine.
 
-The JSON report (``BENCH_*.json`` by default) is uploaded as a CI artifact
-by the bench-smoke job so the speedup trajectory accumulates over time.
+Two variants are covered: the handwritten CUDA-lite kernels (the default)
+and, with ``--descend``, the Descend programs executed through the
+interpreter's device-plan compiler
+(:mod:`repro.descend.interp.vectorize`).  The Descend variant additionally
+sweeps workload *scales* (``--scales 1 4``) to record the interpreter's
+scaling headroom; its report is written to ``BENCH_descend_engine.json``.
+
+The JSON reports (``BENCH_*.json``) are uploaded as CI artifacts by the
+bench-smoke job so the speedup trajectory accumulates over time.
 """
 
 from __future__ import annotations
@@ -27,14 +34,17 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.benchsuite.report import format_bytes, format_table
-from repro.benchsuite.runner import _CUDA_RUNNERS, _reference_and_data
-from repro.benchsuite.workloads import BENCHMARKS, SIZES, Workload, workload
+from repro.benchsuite.runner import _CUDA_RUNNERS, _DESCEND_RUNNERS, _reference_and_data
+from repro.benchsuite.workloads import BENCHMARKS, SIZES, Workload, scale_factor, workload
 from repro.errors import BenchmarkError
 from repro.gpusim import GpuDevice
 
 #: Sizes benchmarked by default and by the CI smoke job (``--quick``).
 DEFAULT_SIZES = ("small", "medium")
 QUICK_SIZES = ("small",)
+#: Scales swept by the Descend engine benchmark (and its ``--quick`` subset).
+DESCEND_SCALES = (1, 4)
+QUICK_DESCEND_SCALES = (1,)
 
 
 @dataclass
@@ -48,6 +58,8 @@ class EngineBenchRow:
     reference_wall_s: float
     vectorized_wall_s: float
     footprint_bytes: int
+    variant: str = "cudalite"
+    scale: int = 1
 
     @property
     def cycles_match(self) -> bool:
@@ -63,6 +75,8 @@ class EngineBenchRow:
         return {
             "benchmark": self.benchmark,
             "size": self.size,
+            "variant": self.variant,
+            "scale": self.scale,
             "reference_cycles": self.reference_cycles,
             "vectorized_cycles": self.vectorized_cycles,
             "cycles_match": self.cycles_match,
@@ -96,9 +110,11 @@ class EngineBenchResult:
             return float("nan")
         return min(row.speedup for row in self.rows)
 
+    kind: str = "engine-bench"
+
     def as_dict(self) -> Dict[str, object]:
         return {
-            "kind": "engine-bench",
+            "kind": self.kind,
             "workloads": [row.as_dict() for row in self.rows],
             "all_cycles_match": self.all_cycles_match,
             "geometric_mean_speedup": self.geometric_mean_speedup,
@@ -107,11 +123,14 @@ class EngineBenchResult:
 
     def to_table(self) -> str:
         table = format_table(
-            ["benchmark", "size", "footprint", "cycles", "parity", "ref wall", "vec wall", "speedup"],
+            ["variant", "benchmark", "size", "scale", "footprint", "cycles", "parity",
+             "ref wall", "vec wall", "speedup"],
             [
                 (
+                    row.variant,
                     row.benchmark,
                     row.size,
+                    row.scale,
                     format_bytes(row.footprint_bytes),
                     round(row.reference_cycles, 1),
                     "==" if row.cycles_match else "MISMATCH",
@@ -148,14 +167,34 @@ def _time_variant(runner, workload_: Workload, data, reference, engine: str, rep
             raise BenchmarkError(
                 f"{workload_.label} produced a wrong result under the {engine} engine"
             )
+        # A Descend launch silently falling back to the reference interpreter
+        # would fake the speedup this benchmark exists to measure.
+        for launch in device.launch_log:
+            if launch.execution_mode != engine:
+                raise BenchmarkError(
+                    f"{workload_.label}: launch `{launch.kernel_name}` ran on the "
+                    f"{launch.execution_mode} engine instead of {engine}"
+                )
     return cycles, best_wall
 
 
-def compare_engines(benchmark: str, size: str, repeats: int = 1) -> EngineBenchRow:
-    """Run one workload on both engines and check cycle-count parity."""
-    workload_ = workload(benchmark, size)
+def compare_engines(
+    benchmark: str,
+    size: str,
+    repeats: int = 1,
+    variant: str = "cudalite",
+    scale: Optional[int] = None,
+) -> EngineBenchRow:
+    """Run one workload on both engines and check cycle-count parity.
+
+    ``variant`` selects the implementation under test: ``"cudalite"`` (the
+    handwritten kernels) or ``"descend"`` (the Descend programs through the
+    interpreter, vectorized via the device-plan compiler).
+    """
+    workload_ = workload(benchmark, size, scale=scale)
     data, reference = _reference_and_data(workload_)
-    runner = _CUDA_RUNNERS[benchmark]
+    runners = _DESCEND_RUNNERS if variant == "descend" else _CUDA_RUNNERS
+    runner = runners[benchmark]
     ref_cycles, ref_wall = _time_variant(runner, workload_, data, reference, "reference", repeats)
     vec_cycles, vec_wall = _time_variant(runner, workload_, data, reference, "vectorized", repeats)
     row = EngineBenchRow(
@@ -166,10 +205,12 @@ def compare_engines(benchmark: str, size: str, repeats: int = 1) -> EngineBenchR
         reference_wall_s=ref_wall,
         vectorized_wall_s=vec_wall,
         footprint_bytes=workload_.footprint_bytes(),
+        variant=variant,
+        scale=scale_factor(scale),
     )
     if not row.cycles_match:
         raise BenchmarkError(
-            f"cycle-count parity violated for {workload_.label}: "
+            f"cycle-count parity violated for {workload_.label} ({variant}): "
             f"reference={ref_cycles} vectorized={vec_cycles}"
         )
     return row
@@ -180,14 +221,45 @@ def run_engine_bench(
     sizes: Sequence[str] = DEFAULT_SIZES,
     repeats: int = 1,
     progress=None,
+    scale: Optional[int] = None,
 ) -> EngineBenchResult:
-    """Benchmark every selected workload on both engines."""
+    """Benchmark every selected workload on both engines (CUDA-lite kernels)."""
     result = EngineBenchResult()
     for benchmark in benchmarks:
         for size in sizes:
             if progress is not None:
                 progress(f"benchmarking {benchmark}/{size} on both engines ...")
-            result.rows.append(compare_engines(benchmark, size, repeats=repeats))
+            result.rows.append(compare_engines(benchmark, size, repeats=repeats, scale=scale))
+    return result
+
+
+def run_descend_engine_bench(
+    benchmarks: Sequence[str] = BENCHMARKS,
+    sizes: Sequence[str] = QUICK_SIZES,
+    scales: Sequence[int] = DESCEND_SCALES,
+    repeats: int = 1,
+    progress=None,
+) -> EngineBenchResult:
+    """Benchmark the Descend programs on both engines across workload scales.
+
+    This is the perf trajectory for the interpreter's device-plan backend:
+    cycle parity is asserted per workload, and the wall-clock columns record
+    how far ``REPRO_SCALE`` can be pushed now that the sweep is vectorized.
+    """
+    result = EngineBenchResult(kind="descend-engine-bench")
+    for scale in scales:
+        for benchmark in benchmarks:
+            for size in sizes:
+                if progress is not None:
+                    progress(
+                        f"benchmarking descend {benchmark}/{size} at scale {scale} "
+                        "on both engines ..."
+                    )
+                result.rows.append(
+                    compare_engines(
+                        benchmark, size, repeats=repeats, variant="descend", scale=scale
+                    )
+                )
     return result
 
 
@@ -211,23 +283,62 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--repeats", type=int, default=1)
     parser.add_argument(
         "--quick", action="store_true",
-        help=f"CI smoke subset: sizes {QUICK_SIZES} only",
+        help=f"CI smoke subset: sizes {QUICK_SIZES} (and scales {QUICK_DESCEND_SCALES} with --descend)",
     )
     parser.add_argument(
-        "--output", default="BENCH_engine.json",
-        help="path of the JSON report (default: %(default)s)",
+        "--descend", action="store_true",
+        help="benchmark the Descend programs (device-plan backend) instead of the CUDA-lite kernels",
+    )
+    parser.add_argument(
+        "--scales", nargs="*", type=int, default=None,
+        help=f"workload scales for the Descend variant (default: {list(DESCEND_SCALES)})",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=None,
+        help="workload scale for the CUDA-lite variant (overrides REPRO_SCALE)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="path of the JSON report (default: BENCH_engine.json, "
+        "or BENCH_descend_engine.json with --descend)",
     )
     parser.add_argument("--json", action="store_true", help="print the JSON payload to stdout")
     args = parser.parse_args(argv)
 
-    sizes = args.sizes if args.sizes else (list(QUICK_SIZES) if args.quick else list(DEFAULT_SIZES))
+    if args.output is None:
+        args.output = "BENCH_descend_engine.json" if args.descend else "BENCH_engine.json"
+    if args.scales and not args.descend:
+        parser.error("--scales applies to the Descend variant; use --scale with the CUDA-lite bench")
+    if args.descend and args.scale is not None and args.scales:
+        parser.error("pass either --scale or --scales, not both")
+    progress = lambda msg: print(msg, file=sys.stderr)  # noqa: E731
     try:
-        result = run_engine_bench(
-            benchmarks=args.benchmarks,
-            sizes=sizes,
-            repeats=args.repeats,
-            progress=lambda msg: print(msg, file=sys.stderr),
-        )
+        if args.descend:
+            sizes = args.sizes if args.sizes else list(QUICK_SIZES)
+            if args.scales:
+                scales = args.scales
+            elif args.scale is not None:
+                scales = [args.scale]
+            else:
+                scales = list(QUICK_DESCEND_SCALES) if args.quick else list(DESCEND_SCALES)
+            result = run_descend_engine_bench(
+                benchmarks=args.benchmarks,
+                sizes=sizes,
+                scales=scales,
+                repeats=args.repeats,
+                progress=progress,
+            )
+        else:
+            sizes = args.sizes if args.sizes else (
+                list(QUICK_SIZES) if args.quick else list(DEFAULT_SIZES)
+            )
+            result = run_engine_bench(
+                benchmarks=args.benchmarks,
+                sizes=sizes,
+                repeats=args.repeats,
+                progress=progress,
+                scale=args.scale,
+            )
     except BenchmarkError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

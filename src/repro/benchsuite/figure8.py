@@ -90,19 +90,22 @@ def run_figure8(
     repeats: int = 1,
     progress=None,
     engine: str = "reference",
+    scale: Optional[int] = None,
 ) -> Figure8Result:
     """Run the Figure 8 sweep (optionally restricted to some benchmarks/sizes).
 
-    ``engine`` picks the execution engine for the CUDA-lite side; the cycle
-    counts (and therefore every number in the figure) are engine-independent,
-    but ``"vectorized"`` regenerates the data much faster.
+    ``engine`` picks the execution engine for both variants (CUDA-lite and
+    Descend); the cycle counts (and therefore every number in the figure)
+    are engine-independent, but ``"vectorized"`` regenerates the data much
+    faster.  ``scale`` enlarges every workload footprint (equivalent to the
+    ``REPRO_SCALE`` environment variable, without mutating the environment).
     """
     result = Figure8Result()
     for benchmark in benchmarks:
         for size in sizes:
             if progress is not None:
                 progress(f"running {benchmark}/{size} ...")
-            run = run_benchmark_pair(benchmark, size, repeats=repeats, engine=engine)
+            run = run_benchmark_pair(benchmark, size, repeats=repeats, engine=engine, scale=scale)
             result.rows.append(_row_from_run(run))
     return result
 
@@ -125,7 +128,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--repeats", type=int, default=1)
     parser.add_argument(
         "--engine", default="reference", choices=("reference", "vectorized"),
-        help="execution engine for the CUDA-lite side (cycle counts are identical)",
+        help="execution engine for both variants (cycle counts are identical)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=None,
+        help="workload scale factor (overrides the REPRO_SCALE environment variable)",
     )
     parser.add_argument("--json", action="store_true", help="print machine-readable JSON")
     args = parser.parse_args(argv)
@@ -136,6 +143,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         repeats=args.repeats,
         progress=lambda msg: print(msg, file=sys.stderr),
         engine=args.engine,
+        scale=args.scale,
     )
     if args.json:
         print(json.dumps(result.as_dict(), indent=2))

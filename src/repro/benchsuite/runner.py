@@ -275,18 +275,22 @@ def run_benchmark_pair(
     size: str,
     repeats: int = 1,
     engine: str = "reference",
+    scale: Optional[int] = None,
 ) -> BenchmarkRun:
     """Run one Figure 8 cell: the CUDA-lite and Descend variants of one workload.
 
-    ``engine`` selects the execution engine for the CUDA-lite side
-    (``"reference"`` or ``"vectorized"``); the Descend interpreter always runs
-    on the reference engine.  Because both engines produce identical cycle
-    counts, the Figure 8 ratios are engine-independent.
+    ``engine`` selects the execution engine for *both* sides: the CUDA-lite
+    kernels are dispatched to their registered vectorized implementations and
+    the Descend programs run through the device-plan compiler
+    (:mod:`repro.descend.interp.vectorize`).  Because both engines produce
+    identical cycle counts, the Figure 8 ratios are engine-independent —
+    ``"vectorized"`` just regenerates them much faster.  ``scale`` enlarges
+    the workload footprint without touching ``REPRO_SCALE``.
     """
-    workload_ = workload(benchmark, size)
+    workload_ = workload(benchmark, size, scale=scale)
     data, reference = _reference_and_data(workload_)
     cuda = _run_variant(_CUDA_RUNNERS[benchmark], workload_, data, reference, repeats, engine=engine)
-    descend = _run_variant(_DESCEND_RUNNERS[benchmark], workload_, data, reference, repeats)
+    descend = _run_variant(_DESCEND_RUNNERS[benchmark], workload_, data, reference, repeats, engine=engine)
     if not cuda.correct:
         raise BenchmarkError(f"CUDA-lite produced a wrong result for {workload_.label}")
     if not descend.correct:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import BenchmarkError
 
@@ -24,8 +24,19 @@ BENCHMARKS: Tuple[str, ...] = ("reduce", "transpose", "scan", "matmul")
 SIZES: Tuple[str, ...] = ("small", "medium", "large")
 
 
-def scale_factor() -> int:
-    """Workload scale factor taken from the ``REPRO_SCALE`` environment variable."""
+def scale_factor(scale: Optional[int] = None) -> int:
+    """Resolve the workload scale factor.
+
+    An explicit ``scale`` (the ``--scale`` CLI flag, threaded through the
+    harness without mutating the environment) wins; otherwise the
+    ``REPRO_SCALE`` environment variable applies; invalid values fall back
+    to 1.
+    """
+    if scale is not None:
+        try:
+            return max(1, int(scale))
+        except (TypeError, ValueError):
+            return 1
     try:
         value = int(os.environ.get("REPRO_SCALE", "1"))
     except ValueError:
@@ -87,14 +98,18 @@ _BASE_PARAMS: Dict[str, Dict[str, Dict[str, int]]] = {
 }
 
 
-def workload(benchmark: str, size: str) -> Workload:
-    """Build the workload for one benchmark at one size (with scaling applied)."""
+def workload(benchmark: str, size: str, scale: Optional[int] = None) -> Workload:
+    """Build the workload for one benchmark at one size (with scaling applied).
+
+    ``scale`` overrides the ``REPRO_SCALE`` environment variable for this
+    workload only.
+    """
     if benchmark not in _BASE_PARAMS:
         raise BenchmarkError(f"unknown benchmark {benchmark!r}; expected one of {BENCHMARKS}")
     if size not in _BASE_PARAMS[benchmark]:
         raise BenchmarkError(f"unknown size {size!r}; expected one of {SIZES}")
     params = dict(_BASE_PARAMS[benchmark][size])
-    factor = scale_factor()
+    factor = scale_factor(scale)
     if factor > 1:
         if benchmark in ("reduce", "scan"):
             params["n"] *= factor
@@ -107,6 +122,6 @@ def workload(benchmark: str, size: str) -> Workload:
     return Workload(benchmark=benchmark, size=size, params=params)
 
 
-def all_workloads() -> Tuple[Workload, ...]:
+def all_workloads(scale: Optional[int] = None) -> Tuple[Workload, ...]:
     """Every benchmark/size combination of Figure 8."""
-    return tuple(workload(benchmark, size) for benchmark in BENCHMARKS for size in SIZES)
+    return tuple(workload(benchmark, size, scale=scale) for benchmark in BENCHMARKS for size in SIZES)

@@ -12,13 +12,15 @@ Sub-commands:
 ``descendc print file.descend``
     Parse, type check, and pretty-print the program back to surface syntax.
 
-``descendc figure8 [--sizes small ...] [--engine vectorized]``
+``descendc figure8 [--sizes small ...] [--engine vectorized] [--scale N]``
     Run the benchmark harness reproducing Figure 8 of the paper.
 
-``descendc bench [--quick]``
+``descendc bench [--quick] [--descend] [--scales 1 4]``
     Benchmark the reference vs the warp-vectorized execution engine on the
-    Figure 8 workloads, assert cycle-count parity, and write a
-    ``BENCH_*.json`` report (the CI bench-smoke artifact).
+    Figure 8 workloads (CUDA-lite kernels by default, the Descend programs
+    through the device-plan compiler with ``--descend``), assert cycle-count
+    parity, and write a ``BENCH_*.json`` report (the CI bench-smoke
+    artifacts).
 """
 
 from __future__ import annotations
@@ -98,6 +100,8 @@ def cmd_figure8(args: argparse.Namespace) -> int:
         forwarded += ["--sizes", *args.sizes]
     if args.engine:
         forwarded += ["--engine", args.engine]
+    if args.scale is not None:
+        forwarded += ["--scale", str(args.scale)]
     if args.json:
         forwarded.append("--json")
     return figure8.main(forwarded)
@@ -113,6 +117,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         forwarded += ["--sizes", *args.sizes]
     if args.quick:
         forwarded.append("--quick")
+    if args.descend:
+        forwarded.append("--descend")
+    if args.scales:
+        forwarded += ["--scales", *[str(s) for s in args.scales]]
+    if args.scale is not None:
+        forwarded += ["--scale", str(args.scale)]
     if args.repeats:
         forwarded += ["--repeats", str(args.repeats)]
     if args.output:
@@ -146,6 +156,10 @@ def build_parser() -> argparse.ArgumentParser:
     fig8.add_argument("--benchmarks", nargs="*")
     fig8.add_argument("--sizes", nargs="*")
     fig8.add_argument("--engine", choices=("reference", "vectorized"))
+    fig8.add_argument(
+        "--scale", type=int, default=None,
+        help="workload scale factor (overrides REPRO_SCALE without touching the environment)",
+    )
     fig8.add_argument("--json", action="store_true")
     fig8.set_defaults(func=cmd_figure8)
 
@@ -155,6 +169,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--benchmarks", nargs="*")
     bench.add_argument("--sizes", nargs="*")
     bench.add_argument("--quick", action="store_true", help="CI smoke subset (small sizes)")
+    bench.add_argument(
+        "--descend", action="store_true",
+        help="benchmark the Descend programs (device-plan backend) instead of CUDA-lite",
+    )
+    bench.add_argument(
+        "--scales", nargs="*", type=int,
+        help="workload scales for --descend (default: 1 4)",
+    )
+    bench.add_argument("--scale", type=int, default=None, help="workload scale (CUDA-lite variant)")
     bench.add_argument("--repeats", type=int)
     bench.add_argument("--output", help="path of the BENCH_*.json report")
     bench.add_argument("--json", action="store_true")

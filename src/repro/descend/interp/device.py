@@ -25,7 +25,7 @@ from repro.descend.ast.exec_level import GpuGridLevel
 from repro.descend.ast.places import PDeref, PIdx, PProj, PSelect, PVar, PView, PlaceExpr
 from repro.descend.ast.types import ArrayType, ArrayViewType, DataType, RefType, ScalarType
 from repro.descend.interp.values import MemValue, Value, numpy_dtype, static_shape
-from repro.descend.nat import Nat
+from repro.descend.nat import Nat, evaluate_nat
 from repro.descend.views.indexing import LogicalArray, LogicalPair, bind_view
 from repro.errors import DescendRuntimeError
 from repro.gpusim.buffer import DeviceBuffer
@@ -72,11 +72,11 @@ class ThreadState:
                 f"`{fun_def.name}` is not a GPU grid function and cannot be launched"
             )
         self._block_window = {
-            name: [0, int(size.evaluate(self.nat_env))]
+            name: [0, int(evaluate_nat(size, self.nat_env))]
             for name, size in level.blocks.entries
         }
         self._thread_window = {
-            name: [0, int(size.evaluate(self.nat_env))]
+            name: [0, int(evaluate_nat(size, self.nat_env))]
             for name, size in level.threads.entries
         }
         self._pending_blocks = set(self._block_window)
@@ -88,7 +88,7 @@ class ThreadState:
         return {DimName.X: source.x, DimName.Y: source.y, DimName.Z: source.z}[dim]
 
     def _nat_value(self, nat: Nat) -> int:
-        return int(nat.evaluate(self.nat_env))
+        return int(evaluate_nat(nat, self.nat_env))
 
     # -- place evaluation --------------------------------------------------------------
     def eval_place(self, place: PlaceExpr):
@@ -370,6 +370,13 @@ class DescendKernel:
     The launch configuration is derived from the function's execution
     resource annotation, so host code cannot accidentally launch with the
     wrong grid (the shared-assumption problem of Section 2.3).
+
+    Under ``execution_mode="vectorized"`` (selected per launch or inherited
+    from the device) the function body is lowered once into a
+    :class:`~repro.descend.interp.vectorize.DevicePlan` and executed as
+    batched numpy operations; functions the plan compiler cannot lower fall
+    back to this per-thread reference interpreter automatically
+    (:attr:`fallback_reason` records why).
     """
 
     def __init__(self, program: T.Program, fun_name: str) -> None:
@@ -379,6 +386,9 @@ class DescendKernel:
         if not isinstance(level, GpuGridLevel):
             raise DescendRuntimeError(f"`{fun_name}` is not a GPU grid function")
         self.level = level
+        #: why the last vectorized launch fell back to the reference engine
+        #: (``None`` when it did not).
+        self.fallback_reason: Optional[str] = None
 
     # -- launch configuration ------------------------------------------------------------
     def grid_dim(self, nat_env: Optional[Dict[str, int]] = None) -> Tuple[int, int, int]:
@@ -403,6 +413,7 @@ class DescendKernel:
         args: Dict[str, Union[DeviceBuffer, MemValue, int, float]],
         nat_args: Optional[Dict[str, int]] = None,
         detect_races: Optional[bool] = None,
+        execution_mode: Optional[str] = None,
     ) -> LaunchResult:
         nat_env = dict(nat_args or {})
         arg_values: Dict[str, Value] = {}
@@ -420,6 +431,20 @@ class DescendKernel:
             state = ThreadState(ctx, fun_def, nat_env, arg_values)
             yield from state.exec_stmt(fun_def.body)
 
+        mode = execution_mode if execution_mode is not None else device.execution_mode
+        self.fallback_reason = None
+        if mode == "vectorized":
+            from repro.descend.interp.vectorize import PlanUnsupported, device_plan
+            from repro.gpusim.engine import vectorized_impl
+
+            try:
+                plan = device_plan(fun_def)
+            except PlanUnsupported as exc:
+                self.fallback_reason = str(exc)
+                mode = "reference"
+            else:
+                vectorized_impl(kernel)(plan.entry(nat_env, arg_values))
+
         return device.launch(
             kernel,
             grid_dim=self.grid_dim(nat_env),
@@ -427,4 +452,5 @@ class DescendKernel:
             args=(),
             kernel_name=fun_def.name,
             detect_races=detect_races,
+            execution_mode=mode,
         )

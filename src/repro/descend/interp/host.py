@@ -19,7 +19,7 @@ from repro.descend.ast.places import PDeref, PIdx, PVar, PlaceExpr
 from repro.descend.ast.types import ArrayType, ArrayViewType, DataType
 from repro.descend.interp.device import DescendKernel
 from repro.descend.interp.values import MemValue, Value, numpy_dtype, static_shape
-from repro.descend.nat import Nat
+from repro.descend.nat import Nat, evaluate_nat
 from repro.errors import DescendRuntimeError
 from repro.gpusim.buffer import DeviceBuffer, HostBuffer
 from repro.gpusim.device import GpuDevice, LaunchResult
@@ -51,11 +51,23 @@ class ExecutionResult:
 
 
 class HostInterpreter:
-    """Interprets CPU Descend functions and their GPU launches."""
+    """Interprets CPU Descend functions and their GPU launches.
 
-    def __init__(self, program: T.Program, device: Optional[GpuDevice] = None) -> None:
+    ``execution_mode`` selects the engine used for the GPU launches this host
+    program performs (``"reference"`` or ``"vectorized"``); ``None`` inherits
+    the device's default mode.  Vectorized launches of functions the device-
+    plan compiler cannot lower fall back to the reference interpreter.
+    """
+
+    def __init__(
+        self,
+        program: T.Program,
+        device: Optional[GpuDevice] = None,
+        execution_mode: Optional[str] = None,
+    ) -> None:
         self.program = program
         self.device = device if device is not None else GpuDevice()
+        self.execution_mode = execution_mode
 
     # -- public API ------------------------------------------------------------------
     def run(
@@ -107,8 +119,8 @@ class HostInterpreter:
                 self._exec_block(term.otherwise, env, nat_env, result)
             return
         if isinstance(term, T.ForNat):
-            lo = int(term.lo.evaluate(nat_env))
-            hi = int(term.hi.evaluate(nat_env))
+            lo = int(evaluate_nat(term.lo, nat_env))
+            hi = int(evaluate_nat(term.hi, nat_env))
             for value in range(lo, hi):
                 nat_env[term.var] = value
                 self._exec_block(term.body, env, nat_env, result)
@@ -124,7 +136,7 @@ class HostInterpreter:
         if isinstance(term, T.Lit):
             return term.value
         if isinstance(term, T.NatTerm):
-            return int(term.nat.evaluate(nat_env))
+            return int(evaluate_nat(term.nat, nat_env))
         if isinstance(term, T.PlaceTerm):
             return self._read_place(term.place, env, nat_env)
         if isinstance(term, T.Borrow):
@@ -138,7 +150,7 @@ class HostInterpreter:
             operand = self._eval(term.operand, env, nat_env, result)
             return -operand if term.op == "-" else (not operand)
         if isinstance(term, T.ArrayInit):
-            size = int(term.size.evaluate(nat_env))
+            size = int(evaluate_nat(term.size, nat_env))
             fill = self._eval(term.value, env, nat_env, result)
             dtype = np.float64 if isinstance(fill, float) else np.int64
             return np.full(size, fill, dtype=dtype)
@@ -200,7 +212,7 @@ class HostInterpreter:
         for param, arg in zip(callee.params, term.args):
             call_env[param.name] = self._eval(arg, env, nat_env, result)
         callee_nats = {
-            generic.name: int(nat.evaluate(nat_env))
+            generic.name: int(evaluate_nat(nat, nat_env))
             for generic, nat in zip(callee.generics, term.nat_args)
         }
         self._exec_block(callee.body, call_env, callee_nats, result)
@@ -211,13 +223,15 @@ class HostInterpreter:
         callee = self.program.fun(term.name)
         nat_names = [g.name for g in callee.generics]
         launch_nats = {
-            name: int(nat.evaluate(nat_env)) for name, nat in zip(nat_names, term.nat_args)
+            name: int(evaluate_nat(nat, nat_env)) for name, nat in zip(nat_names, term.nat_args)
         }
         args: Dict[str, Value] = {}
         for param, arg in zip(callee.params, term.args):
             value = self._eval(arg, env, nat_env, result)
             args[param.name] = value
-        launch = kernel.launch(self.device, args=args, nat_args=launch_nats)
+        launch = kernel.launch(
+            self.device, args=args, nat_args=launch_nats, execution_mode=self.execution_mode
+        )
         result.launches.append(launch)
         return None
 
@@ -258,7 +272,7 @@ class HostInterpreter:
         for part in parts:
             if isinstance(part, PIdx):
                 index = (
-                    int(part.index.evaluate(nat_env))
+                    int(evaluate_nat(part.index, nat_env))
                     if isinstance(part.index, Nat)
                     else int(part.index)
                 )

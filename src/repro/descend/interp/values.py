@@ -8,6 +8,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from repro.descend.ast.types import ArrayType, ArrayViewType, AtType, DataType, RefType, ScalarType
+from repro.descend.nat import evaluate_nat
 from repro.descend.views.indexing import LogicalArray
 from repro.errors import DescendRuntimeError
 from repro.gpusim.buffer import DeviceBuffer, HostBuffer
@@ -38,7 +39,7 @@ def static_shape(ty: DataType, nat_env) -> Tuple[int, ...]:
     shape = []
     current = ty
     while isinstance(current, (ArrayType, ArrayViewType)):
-        shape.append(int(current.size.evaluate(nat_env)))
+        shape.append(int(evaluate_nat(current.size, nat_env)))
         current = current.elem
     return tuple(shape)
 

@@ -1,0 +1,697 @@
+"""The device-plan compiler: batched execution of Descend GPU functions.
+
+The reference path (:mod:`repro.descend.interp.device`) interprets the
+function body once *per simulated thread*, which makes Descend programs the
+slowest workloads in the repository.  This module removes the per-thread
+loop entirely: a type-checked GPU function is *compiled once* into a
+``DevicePlan`` — a tree of closures over batched numpy operations — and the
+plan is executed once per launch against the grid-wide
+:class:`~repro.gpusim.engine.vectorized.VecCtx` of the vectorized engine.
+
+The lowering reuses the polymorphic views engine: the coordinate arithmetic
+of :class:`~repro.descend.views.indexing.LogicalArray` is generic over any
+value domain with ``+``/``*``/``//``, so feeding it *per-thread numpy index
+arrays* (``threadIdx.x`` as an ``int64`` array with one entry per thread)
+yields whole-launch offset arrays in one pass.  Every memory access becomes
+one ``VecCtx.load``/``store`` (which feeds ``CostModel.record_access_batch``
+and ``RaceDetector.record_batch``), divergence (``split``, per-thread ``if``)
+becomes boolean ``where=`` masks, and ``sync`` becomes one grid-wide barrier
+per block instead of a generator ``yield`` per thread.
+
+Parity with the reference interpreter is exact by construction:
+
+* each thread performs the same accesses in the same per-thread order, so
+  the ``(block, warp, slot)`` coalescing groups and the barrier epochs seen
+  by the race detector are identical;
+* masked-out lanes do not advance their slot counters, do not count
+  arithmetic, and record no accesses — exactly like threads that skip a
+  branch in the reference engine.
+
+Constructs whose batched semantics would diverge from the reference engine
+(currently: ``sync`` nested under ``split`` or ``if``, whose reference
+behaviour is barrier divergence detection) raise :class:`PlanUnsupported`
+at compile time; :class:`~repro.descend.interp.device.DescendKernel` then
+falls back to the reference interpreter for that launch.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.descend.ast import terms as T
+from repro.descend.ast.dims import DimName
+from repro.descend.ast.exec_level import GpuGridLevel
+from repro.descend.ast.places import PDeref, PIdx, PProj, PSelect, PVar, PView, PlaceExpr
+from repro.descend.interp.device import _ARITH_OPS, _LocalScalar
+from repro.descend.interp.values import MemValue, Value, numpy_dtype, static_shape
+from repro.descend.nat import Nat, evaluate_nat
+from repro.descend.views.indexing import BoundView, LogicalArray, LogicalPair
+from repro.descend.views.registry import resolve_view
+from repro.errors import DescendError, DescendRuntimeError
+from repro.gpusim.engine.vectorized import VecCtx
+
+
+class PlanUnsupported(DescendError):
+    """A construct the device-plan compiler cannot lower; callers fall back."""
+
+
+@dataclass
+class VecSlot:
+    """A batch of fully indexed elements: one offset per thread of the grid."""
+
+    buffer: object
+    offsets: object  # per-thread int64 array or a uniform python int
+
+
+class PlanState:
+    """Mutable launch state threaded through a plan's compiled closures.
+
+    Everything here is *uniform* over the grid (nat bindings, view windows,
+    scheduling bookkeeping) or *batched* (locals holding per-thread arrays,
+    the active-lane mask, the execution coordinates).  The per-thread state
+    of the reference interpreter maps onto it one field at a time.
+    """
+
+    def __init__(
+        self,
+        ctx: VecCtx,
+        level: GpuGridLevel,
+        nat_env: Dict[str, int],
+        args: Dict[str, Value],
+    ) -> None:
+        self.ctx = ctx
+        self.nat_env = dict(nat_env)
+        self.locals: Dict[str, Value] = dict(args)
+        self.exec_coords: Dict[str, Tuple[object, ...]] = {}
+        self.mask: Optional[np.ndarray] = None
+
+        self.block_window = {
+            name: [0, int(evaluate_nat(size, self.nat_env))]
+            for name, size in level.blocks.entries
+        }
+        self.thread_window = {
+            name: [0, int(evaluate_nat(size, self.nat_env))]
+            for name, size in level.threads.entries
+        }
+        self.pending_blocks = set(self.block_window)
+        self.pending_threads = set(self.thread_window)
+
+    # -- helpers ---------------------------------------------------------------
+    def nat_value(self, nat: Nat) -> int:
+        return int(evaluate_nat(nat, self.nat_env))
+
+    def raw_index(self, dim: DimName, over_blocks: bool) -> np.ndarray:
+        source = self.ctx.blockIdx if over_blocks else self.ctx.threadIdx
+        return {DimName.X: source.x, DimName.Y: source.y, DimName.Z: source.z}[dim]
+
+    def active_lanes(self) -> bool:
+        return self.mask is None or bool(self.mask.any())
+
+    def load(self, slot: VecSlot):
+        return self.ctx.load(slot.buffer, slot.offsets, where=self.mask)
+
+    def store(self, slot: VecSlot, value) -> None:
+        self.ctx.store(slot.buffer, slot.offsets, value, where=self.mask)
+
+    def arith(self, count: int = 1) -> None:
+        self.ctx.arith(count, where=self.mask)
+
+
+#: A compiled statement: mutates the state (and the simulated memory).
+StmtOp = Callable[[PlanState], None]
+#: A compiled expression: returns a scalar, a per-thread array, or a MemValue.
+ExprOp = Callable[[PlanState], object]
+#: A compiled place: returns a VecSlot, a _LocalScalar, or a MemValue.
+PlaceOp = Callable[[PlanState], Union[VecSlot, _LocalScalar, MemValue]]
+
+
+@dataclass
+class DevicePlan:
+    """A GPU Descend function lowered to batched numpy operations."""
+
+    fun_name: str
+    level: GpuGridLevel
+    body: StmtOp
+
+    def execute(self, ctx: VecCtx, nat_env: Dict[str, int], args: Dict[str, Value]) -> None:
+        state = PlanState(ctx, self.level, nat_env, args)
+        self.body(state)
+
+    def entry(self, nat_env: Dict[str, int], args: Dict[str, Value]) -> Callable[[VecCtx], None]:
+        """A vectorized kernel closure over one launch's arguments."""
+
+        def vec_kernel(ctx: VecCtx) -> None:
+            self.execute(ctx, nat_env, args)
+
+        vec_kernel.__name__ = f"{self.fun_name}_plan"
+        return vec_kernel
+
+
+# ---------------------------------------------------------------------------
+# Expression compilation
+# ---------------------------------------------------------------------------
+
+
+def _as_int_index(value):
+    """Mirror the reference interpreter's ``int(...)`` on expression indices."""
+    if isinstance(value, np.ndarray):
+        return value.astype(np.int64, copy=False)
+    return int(value)
+
+
+def _compile_place(place: PlaceExpr) -> PlaceOp:
+    parts = place.parts()
+    root = parts[0]
+    assert isinstance(root, PVar)
+    root_name = root.name
+
+    # Lower the chain of place-expression steps once; the registry lookups
+    # and view resolution happen here, not per launch.
+    steps: List[Tuple[str, object]] = []
+    for part in parts[1:]:
+        if isinstance(part, PDeref):
+            continue
+        if isinstance(part, PView):
+            steps.append(("view", resolve_view(part.ref)))
+        elif isinstance(part, PProj):
+            steps.append(("proj", part.index))
+        elif isinstance(part, PSelect):
+            steps.append(("select", part.exec_var))
+        elif isinstance(part, PIdx):
+            if isinstance(part.index, Nat):
+                steps.append(("nat_idx", part.index))
+            else:
+                steps.append(("expr_idx", _compile_expr(part.index)))
+        else:
+            raise PlanUnsupported(f"unsupported place expression step {part}")
+
+    def run(state: PlanState):
+        if root_name not in state.locals:
+            raise DescendRuntimeError(f"unbound variable `{root_name}` at runtime")
+        value = state.locals[root_name]
+        if not isinstance(value, MemValue):
+            if not steps:
+                return _LocalScalar(root_name)
+            raise DescendRuntimeError(
+                f"`{root_name}` is a scalar and cannot be indexed or viewed"
+            )
+
+        current: Union[LogicalArray, LogicalPair] = value.logical
+        buffer = value.buffer
+        for kind, payload in steps:
+            if kind == "view":
+                if isinstance(current, LogicalPair):
+                    raise DescendRuntimeError("`split` must be followed by `.fst`/`.snd`")
+                current = current.apply_view(BoundView(payload, state.nat_value))
+                continue
+            if kind == "proj":
+                if isinstance(current, LogicalPair):
+                    current = current.project(payload)
+                    continue
+                raise DescendRuntimeError("tuple projections on runtime tuples are not supported")
+            if isinstance(current, LogicalPair):
+                raise DescendRuntimeError("`split` must be followed by `.fst`/`.snd`")
+            if kind == "select":
+                coords = state.exec_coords.get(payload)
+                if coords is None:
+                    raise DescendRuntimeError(
+                        f"`{payload}` is not a scheduled execution resource"
+                    )
+                current = current.select(coords)
+                continue
+            if kind == "nat_idx":
+                current = current.index(state.nat_value(payload))
+                continue
+            # expr_idx
+            current = current.index(_as_int_index(payload(state)))
+
+        if isinstance(current, LogicalPair):
+            raise DescendRuntimeError("`split` must be followed by `.fst`/`.snd`")
+        if current.is_scalar():
+            return VecSlot(buffer=buffer, offsets=current.flat_offset(()))
+        return MemValue(buffer=buffer, logical=current, uniq=value.uniq)
+
+    return run
+
+
+def _is_integer(value) -> bool:
+    if isinstance(value, np.ndarray):
+        return value.dtype.kind in "iu"
+    return isinstance(value, (int, np.integer)) and not isinstance(value, bool)
+
+
+def _logical_not(value):
+    if isinstance(value, np.ndarray):
+        return np.logical_not(value)
+    return not value
+
+
+_COMPARISONS: Dict[str, Callable] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def _compile_binary(term: T.BinaryOp) -> ExprOp:
+    lhs_op = _compile_expr(term.lhs)
+    rhs_op = _compile_expr(term.rhs)
+    op = term.op
+
+    if op in _ARITH_OPS:
+
+        def run_arith(state: PlanState):
+            lhs = lhs_op(state)
+            rhs = rhs_op(state)
+            state.arith(1)
+            if op == "+":
+                return lhs + rhs
+            if op == "-":
+                return lhs - rhs
+            if op == "*":
+                return lhs * rhs
+            if op == "/":
+                if _is_integer(lhs) and _is_integer(rhs):
+                    return lhs // rhs
+                return lhs / rhs
+            return lhs % rhs
+
+        return run_arith
+
+    if op in _COMPARISONS:
+        compare = _COMPARISONS[op]
+        return lambda state: compare(lhs_op(state), rhs_op(state))
+    if op == "&&":
+        # Both engines evaluate both operands eagerly (no short-circuit).
+        def run_and(state: PlanState):
+            lhs = lhs_op(state)
+            rhs = rhs_op(state)
+            if isinstance(lhs, np.ndarray) or isinstance(rhs, np.ndarray):
+                return np.logical_and(lhs, rhs)
+            return bool(lhs) and bool(rhs)
+
+        return run_and
+    if op == "||":
+
+        def run_or(state: PlanState):
+            lhs = lhs_op(state)
+            rhs = rhs_op(state)
+            if isinstance(lhs, np.ndarray) or isinstance(rhs, np.ndarray):
+                return np.logical_or(lhs, rhs)
+            return bool(lhs) or bool(rhs)
+
+        return run_or
+    raise PlanUnsupported(f"unsupported binary operator {op}")
+
+
+def _compile_alloc(term: T.Alloc) -> ExprOp:
+    dtype = numpy_dtype(term.ty)
+    mem_name = str(term.mem)
+    ty = term.ty
+    # Shared allocations are keyed by term identity so that re-evaluating the
+    # same `alloc` (e.g. inside a loop) reuses the one per-block buffer —
+    # exactly the reference interpreter's pooling behaviour.
+    shared_key = f"shared_{id(term)}"
+    if mem_name not in ("gpu.shared", "gpu.local"):
+        raise PlanUnsupported(f"cannot allocate `{term.mem}` memory on the GPU")
+
+    def run(state: PlanState):
+        shape = static_shape(ty, state.nat_env) or (1,)
+        if mem_name == "gpu.shared":
+            buffer = state.ctx.shared(shared_key, shape, dtype=dtype)
+        else:
+            buffer = state.ctx.local(shape, dtype=dtype)
+        return MemValue(buffer=buffer, logical=LogicalArray.root(tuple(buffer.shape)))
+
+    return run
+
+
+def _compile_expr(term: T.Term) -> ExprOp:
+    if isinstance(term, T.Lit):
+        value = term.value
+        return lambda state: value
+    if isinstance(term, T.NatTerm):
+        nat = term.nat
+        return lambda state: state.nat_value(nat)
+    if isinstance(term, T.PlaceTerm):
+        place_op = _compile_place(term.place)
+
+        def run_read(state: PlanState):
+            target = place_op(state)
+            if isinstance(target, VecSlot):
+                return state.load(target)
+            if isinstance(target, _LocalScalar):
+                return state.locals[target.name]
+            return target
+
+        return run_read
+    if isinstance(term, T.Borrow):
+        place_op = _compile_place(term.place)
+
+        def run_borrow(state: PlanState):
+            target = place_op(state)
+            if isinstance(target, VecSlot):
+                raise DescendRuntimeError("cannot borrow a single element at runtime")
+            if isinstance(target, _LocalScalar):
+                raise DescendRuntimeError("cannot borrow a scalar local at runtime")
+            return target
+
+        return run_borrow
+    if isinstance(term, T.BinaryOp):
+        return _compile_binary(term)
+    if isinstance(term, T.UnaryOp):
+        operand_op = _compile_expr(term.operand)
+        if term.op == "-":
+
+            def run_neg(state: PlanState):
+                operand = operand_op(state)
+                state.arith(1)
+                return -operand
+
+            return run_neg
+        if term.op == "!":
+            return lambda state: _logical_not(operand_op(state))
+        raise PlanUnsupported(f"unsupported unary operator {term.op}")
+    if isinstance(term, T.Alloc):
+        return _compile_alloc(term)
+    if isinstance(term, T.FnApp):
+        raise PlanUnsupported(
+            f"function calls on the GPU are inlined before execution; "
+            f"cannot lower call to `{term.name}`"
+        )
+    raise PlanUnsupported(f"cannot lower term {term}")
+
+
+# ---------------------------------------------------------------------------
+# Statement compilation
+# ---------------------------------------------------------------------------
+
+
+def _merge_masked(mask: Optional[np.ndarray], new, old):
+    """Merge an assignment under a mask (inactive lanes keep their value)."""
+    if mask is None:
+        return new
+    return np.where(mask, new, old)
+
+
+def _compile_block(term: T.Block, divergent: bool) -> StmtOp:
+    compiled: List[Tuple[Optional[str], StmtOp]] = [
+        (stmt.name if isinstance(stmt, T.LetTerm) else None, _compile_stmt(stmt, divergent))
+        for stmt in term.stmts
+    ]
+
+    def run(state: PlanState):
+        # Only bindings introduced by this block go out of scope at its end;
+        # mutations of outer variables must survive (mirrors the reference).
+        shadowed: Dict[str, Value] = {}
+        introduced: List[str] = []
+        try:
+            for let_name, op in compiled:
+                if let_name is not None:
+                    if let_name in state.locals and let_name not in shadowed:
+                        shadowed[let_name] = state.locals[let_name]
+                    introduced.append(let_name)
+                op(state)
+        finally:
+            for name in introduced:
+                state.locals.pop(name, None)
+            state.locals.update(shadowed)
+
+    return run
+
+
+def _compile_assign(term: T.Assign) -> StmtOp:
+    value_op = _compile_expr(term.value)
+    place_op = _compile_place(term.place)
+    place_str = str(term.place)
+
+    def run(state: PlanState):
+        value = value_op(state)
+        target = place_op(state)
+        if isinstance(target, _LocalScalar):
+            old = state.locals[target.name]
+            state.locals[target.name] = _merge_masked(state.mask, value, old)
+        elif isinstance(target, VecSlot):
+            state.store(target, value)
+        else:
+            raise DescendRuntimeError(f"cannot assign a whole array at once: `{place_str}`")
+
+    return run
+
+
+def _compile_if(term: T.IfTerm, divergent: bool) -> StmtOp:
+    if T.contains_sync(term):
+        raise PlanUnsupported(
+            "`sync` under a per-thread `if` needs the reference engine's "
+            "barrier-divergence detection"
+        )
+    cond_op = _compile_expr(term.cond)
+    then_op = _compile_stmt(term.then, divergent=True)
+    else_op = _compile_stmt(term.otherwise, divergent=True) if term.otherwise is not None else None
+
+    def run(state: PlanState):
+        cond = cond_op(state)
+        if not isinstance(cond, np.ndarray):
+            if cond:
+                then_op(state)
+            elif else_op is not None:
+                else_op(state)
+            return
+        old_mask = state.mask
+        then_mask = cond if old_mask is None else (old_mask & cond)
+        if then_mask.any():
+            state.mask = then_mask
+            try:
+                then_op(state)
+            finally:
+                state.mask = old_mask
+        if else_op is not None:
+            else_mask = ~cond if old_mask is None else (old_mask & ~cond)
+            if else_mask.any():
+                state.mask = else_mask
+                try:
+                    else_op(state)
+                finally:
+                    state.mask = old_mask
+
+    return run
+
+
+def _compile_for_nat(term: T.ForNat, divergent: bool) -> StmtOp:
+    body_op = _compile_stmt(term.body, divergent)
+    var, lo_nat, hi_nat = term.var, term.lo, term.hi
+
+    def run(state: PlanState):
+        lo = state.nat_value(lo_nat)
+        hi = state.nat_value(hi_nat)
+        previous = state.nat_env.get(var)
+        for value in range(lo, hi):
+            state.nat_env[var] = value
+            body_op(state)
+        if previous is None:
+            state.nat_env.pop(var, None)
+        else:
+            state.nat_env[var] = previous
+
+    return run
+
+
+def _compile_for_each(term: T.ForEach, divergent: bool) -> StmtOp:
+    collection_op = _compile_expr(term.collection)
+    body_op = _compile_stmt(term.body, divergent)
+    var = term.var
+
+    def run(state: PlanState):
+        collection = collection_op(state)
+        if not isinstance(collection, MemValue):
+            raise DescendRuntimeError("`for ... in` expects an array value")
+        size = int(collection.shape[0])
+        for index in range(size):
+            element = collection.logical.index(index)
+            if element.is_scalar():
+                value: Value = state.load(
+                    VecSlot(buffer=collection.buffer, offsets=element.flat_offset(()))
+                )
+            else:
+                value = MemValue(buffer=collection.buffer, logical=element)
+            state.locals[var] = value
+            body_op(state)
+
+    return run
+
+
+def _compile_sched(term: T.Sched, divergent: bool) -> StmtOp:
+    body_op = _compile_stmt(term.body, divergent)
+    dims = tuple(term.dims)
+    binder, exec_name = term.binder, term.exec_name
+
+    def run(state: PlanState):
+        over_blocks = bool(state.pending_blocks)
+        window = state.block_window if over_blocks else state.thread_window
+        pending = state.pending_blocks if over_blocks else state.pending_threads
+
+        coords = []
+        for dim in dims:
+            if dim not in pending:
+                raise DescendRuntimeError(f"dimension {dim} is not pending for `{exec_name}`")
+            lo, _hi = window[dim]
+            raw = state.raw_index(dim, over_blocks)
+            coords.append(raw - lo if lo else raw)
+        for dim in dims:
+            pending.discard(dim)
+        previous_coords = state.exec_coords.get(binder)
+        state.exec_coords[binder] = tuple(coords)
+        try:
+            body_op(state)
+        finally:
+            if previous_coords is None:
+                state.exec_coords.pop(binder, None)
+            else:
+                state.exec_coords[binder] = previous_coords
+            for dim in dims:
+                pending.add(dim)
+
+    return run
+
+
+def _compile_split(term: T.SplitExec) -> StmtOp:
+    if T.contains_sync(term):
+        raise PlanUnsupported(
+            "`sync` under `split` needs the reference engine's "
+            "barrier-divergence detection"
+        )
+    first_op = _compile_stmt(term.first_body, divergent=True)
+    second_op = _compile_stmt(term.second_body, divergent=True)
+    dim, pos_nat = term.dim, term.pos
+
+    def run(state: PlanState):
+        over_blocks = dim in state.pending_blocks
+        window = state.block_window if over_blocks else state.thread_window
+        if dim not in window:
+            raise DescendRuntimeError(f"cannot split missing dimension {dim}")
+        lo, hi = window[dim]
+        pos = state.nat_value(pos_nat)
+        relative = state.raw_index(dim, over_blocks) - lo
+        first_cond = relative < pos
+        old_mask = state.mask
+
+        first_mask = first_cond if old_mask is None else (old_mask & first_cond)
+        if first_mask.any():
+            window[dim] = [lo, lo + pos]
+            state.mask = first_mask
+            try:
+                first_op(state)
+            finally:
+                window[dim] = [lo, hi]
+                state.mask = old_mask
+
+        second_mask = ~first_cond if old_mask is None else (old_mask & ~first_cond)
+        if second_mask.any():
+            window[dim] = [lo + pos, hi]
+            state.mask = second_mask
+            try:
+                second_op(state)
+            finally:
+                window[dim] = [lo, hi]
+                state.mask = old_mask
+
+    return run
+
+
+def _run_sync(state: PlanState) -> None:
+    # Compilation guarantees `sync` is never nested under divergence, so the
+    # whole grid is active here: one barrier per block, one epoch grid-wide —
+    # the same accounting as the per-block reference executor.
+    assert state.mask is None, "sync under an active mask escaped compilation checks"
+    state.ctx.sync()
+
+
+def _compile_stmt(term: T.Term, divergent: bool = False) -> StmtOp:
+    if isinstance(term, T.Block):
+        return _compile_block(term, divergent)
+    if isinstance(term, T.LetTerm):
+        init_op = _compile_expr(term.init)
+        name = term.name
+
+        def run_let(state: PlanState):
+            state.locals[name] = init_op(state)
+
+        return run_let
+    if isinstance(term, T.Assign):
+        return _compile_assign(term)
+    if isinstance(term, T.IfTerm):
+        return _compile_if(term, divergent)
+    if isinstance(term, T.ForNat):
+        return _compile_for_nat(term, divergent)
+    if isinstance(term, T.ForEach):
+        return _compile_for_each(term, divergent)
+    if isinstance(term, T.Sched):
+        return _compile_sched(term, divergent)
+    if isinstance(term, T.SplitExec):
+        return _compile_split(term)
+    if isinstance(term, T.Sync):
+        if divergent:
+            raise PlanUnsupported(
+                "`sync` under divergent control flow needs the reference engine"
+            )
+        return _run_sync
+    # expression statements: evaluate for effects, discard the value
+    expr_op = _compile_expr(term)
+
+    def run_expr(state: PlanState):
+        expr_op(state)
+
+    return run_expr
+
+
+# ---------------------------------------------------------------------------
+# Entry points and the per-function plan cache
+# ---------------------------------------------------------------------------
+
+
+def compile_device_plan(fun_def: T.FunDef) -> DevicePlan:
+    """Lower one GPU Descend function into a :class:`DevicePlan`.
+
+    Raises :class:`PlanUnsupported` when the function uses a construct whose
+    batched execution could diverge from the reference semantics.
+    """
+    level = fun_def.exec_spec.level
+    if not isinstance(level, GpuGridLevel):
+        raise PlanUnsupported(f"`{fun_def.name}` is not a GPU grid function")
+    body = _compile_stmt(fun_def.body)
+    return DevicePlan(fun_name=fun_def.name, level=level, body=body)
+
+
+#: id(fun_def) -> (fun_def, plan-or-failure).  The FunDef is retained so the
+#: id stays valid; bounded so benchmark sweeps that rebuild programs per
+#: launch cannot grow it without limit.
+_PLAN_CACHE: "OrderedDict[int, Tuple[T.FunDef, Union[DevicePlan, PlanUnsupported]]]" = OrderedDict()
+_PLAN_CACHE_SIZE = 256
+
+
+def device_plan(fun_def: T.FunDef) -> DevicePlan:
+    """Compile (or fetch the cached) :class:`DevicePlan` for a function."""
+    key = id(fun_def)
+    cached = _PLAN_CACHE.get(key)
+    if cached is not None and cached[0] is fun_def:
+        _PLAN_CACHE.move_to_end(key)
+        if isinstance(cached[1], PlanUnsupported):
+            raise cached[1]
+        return cached[1]
+    try:
+        plan: Union[DevicePlan, PlanUnsupported] = compile_device_plan(fun_def)
+    except PlanUnsupported as exc:
+        plan = exc
+    _PLAN_CACHE[key] = (fun_def, plan)
+    if len(_PLAN_CACHE) > _PLAN_CACHE_SIZE:
+        _PLAN_CACHE.popitem(last=False)
+    if isinstance(plan, PlanUnsupported):
+        raise plan
+    return plan

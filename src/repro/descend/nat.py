@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import lru_cache
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple, Union
 
 from repro.errors import DescendError
@@ -251,6 +252,17 @@ def _poly_mul(a: Polynomial, b: Polynomial) -> Polynomial:
     return result
 
 
+@lru_cache(maxsize=16384)
+def _polynomial_of(nat: Nat) -> Polynomial:
+    """Memoized polynomial form of a nat expression.
+
+    Nats are immutable value objects, so structurally equal expressions share
+    one cached polynomial.  Callers must treat the returned dict as frozen
+    (every consumer in this module copies before mutating).
+    """
+    return _to_polynomial(nat)
+
+
 def _to_polynomial(nat: Nat) -> Polynomial:
     """Convert a nat expression into polynomial form.
 
@@ -265,11 +277,11 @@ def _to_polynomial(nat: Nat) -> Polynomial:
         return _poly_var(nat.name)
     if isinstance(nat, NatBinOp):
         if nat.op == "+":
-            return _poly_add(_to_polynomial(nat.lhs), _to_polynomial(nat.rhs))
+            return _poly_add(_polynomial_of(nat.lhs), _polynomial_of(nat.rhs))
         if nat.op == "-":
-            return _poly_add(_to_polynomial(nat.lhs), _to_polynomial(nat.rhs), sign=-1)
+            return _poly_add(_polynomial_of(nat.lhs), _polynomial_of(nat.rhs), sign=-1)
         if nat.op == "*":
-            return _poly_mul(_to_polynomial(nat.lhs), _to_polynomial(nat.rhs))
+            return _poly_mul(_polynomial_of(nat.lhs), _polynomial_of(nat.rhs))
         if nat.op == "^":
             return _power_polynomial(nat)
         if nat.op in ("/", "%"):
@@ -277,7 +289,7 @@ def _to_polynomial(nat: Nat) -> Polynomial:
             if isinstance(simplified, NatBinOp) and simplified.op in ("/", "%"):
                 key = f"⟨{simplified}⟩"
                 return _poly_var(key)
-            return _to_polynomial(simplified)
+            return _polynomial_of(simplified)
     raise NatError(f"cannot normalise nat expression {nat!r}")  # pragma: no cover
 
 
@@ -293,7 +305,7 @@ def _power_polynomial(nat: NatBinOp) -> Polynomial:
     exponent = normalize(nat.rhs)
     if isinstance(exponent, NatConst):
         result = _poly_const(1)
-        base_poly = _to_polynomial(base)
+        base_poly = _polynomial_of(base)
         for _ in range(exponent.value):
             result = _poly_mul(result, base_poly)
         return result
@@ -307,8 +319,8 @@ def _power_polynomial(nat: NatBinOp) -> Polynomial:
             rest_nat = _from_polynomial(rest)
             if rest_nat is not None:
                 reduced = NatBinOp("^", base, rest_nat)
-                result = _to_polynomial(reduced)
-                base_poly = _to_polynomial(base)
+                result = _polynomial_of(reduced)
+                base_poly = _polynomial_of(base)
                 for _ in range(int(const_part)):
                     result = _poly_mul(result, base_poly)
                 return result
@@ -339,7 +351,7 @@ def _simplify_divmod(nat: NatBinOp) -> Nat:
 
 def _to_safe_polynomial(nat: Nat) -> Optional[Polynomial]:
     try:
-        return _to_polynomial(nat)
+        return _polynomial_of(nat)
     except NatError:  # pragma: no cover - defensive
         return None
 
@@ -387,20 +399,27 @@ def _atom_from_key(key: str) -> Nat:
     return NatVar(key) if not key.startswith("⟨") else NatVar(key)
 
 
-def normalize(nat: NatLike) -> Nat:
-    """Return a canonical form of ``nat``.
-
-    Two expressions that denote the same polynomial normalise to structurally
-    equal Nats, which is how the type checker compares sizes.
-    """
-    nat = as_nat(nat)
-    if isinstance(nat, (NatConst, NatVar)):
-        return nat
-    poly = _to_polynomial(nat)
+@lru_cache(maxsize=16384)
+def _normalize_cached(nat: Nat) -> Nat:
+    poly = _polynomial_of(nat)
     rebuilt = _from_polynomial(poly)
     if rebuilt is None:
         return nat
     return rebuilt
+
+
+def normalize(nat: NatLike) -> Nat:
+    """Return a canonical form of ``nat``.
+
+    Two expressions that denote the same polynomial normalise to structurally
+    equal Nats, which is how the type checker compares sizes.  Results are
+    memoized: nats are immutable value objects, so the type checker's
+    repeated normalisation of the same view/size expressions hits the cache.
+    """
+    nat = as_nat(nat)
+    if isinstance(nat, (NatConst, NatVar)):
+        return nat
+    return _normalize_cached(nat)
 
 
 def nat_equal(a: NatLike, b: NatLike) -> bool:
@@ -410,8 +429,8 @@ def nat_equal(a: NatLike, b: NatLike) -> bool:
     if a == b:
         return True
     try:
-        poly_a = _to_polynomial(a)
-        poly_b = _to_polynomial(b)
+        poly_a = _polynomial_of(a)
+        poly_b = _polynomial_of(b)
     except NatError:
         return False
     return poly_a == poly_b
@@ -461,9 +480,45 @@ def nat_le(a: NatLike, b: NatLike) -> Optional[bool]:
     return None
 
 
+@lru_cache(maxsize=32768)
+def _sorted_free_vars(nat: Nat) -> Tuple[str, ...]:
+    return tuple(sorted(nat.free_vars()))
+
+
+@lru_cache(maxsize=65536)
+def _evaluate_cached(nat: Nat, values: Tuple[int, ...]) -> int:
+    return nat.evaluate(dict(zip(_sorted_free_vars(nat), values)))
+
+
 def evaluate_nat(nat: NatLike, env: Optional[Mapping[str, int]] = None) -> int:
-    """Evaluate a nat expression with the given variable bindings."""
-    return as_nat(nat).evaluate(env or {})
+    """Evaluate a nat expression with the given variable bindings.
+
+    Results are memoized per ``(expression, relevant bindings)``: the cache
+    key only includes the *values* of the expression's free variables (in
+    sorted-name order), so the interpreter's per-statement evaluation of
+    loop-invariant sizes (and the reference engine's per-*thread* evaluation)
+    collapses to one dict lookup.
+    """
+    nat = as_nat(nat)
+    if isinstance(nat, NatConst):
+        return nat.value
+    if env:
+        if isinstance(nat, NatVar):
+            return nat.evaluate(env)
+        try:
+            values = tuple(int(env[name]) for name in _sorted_free_vars(nat))
+        except KeyError:
+            return nat.evaluate(env)  # unbound variable: raise the usual NatError
+        return _evaluate_cached(nat, values)
+    return _evaluate_cached(nat, ())
+
+
+def clear_nat_caches() -> None:
+    """Drop the nat memoization caches (used by benchmarks to measure cold runs)."""
+    _polynomial_of.cache_clear()
+    _normalize_cached.cache_clear()
+    _sorted_free_vars.cache_clear()
+    _evaluate_cached.cache_clear()
 
 
 def free_nat_vars(nats: Iterable[NatLike]) -> Set[str]:

@@ -29,7 +29,7 @@ from repro.gpusim.engine.base import (
     vectorized_impl,
 )
 from repro.gpusim.engine.reference import ReferenceEngine
-from repro.gpusim.engine.vectorized import VecCtx, VecSharedBuffer, VectorizedEngine
+from repro.gpusim.engine.vectorized import VecCtx, VecLocalBuffer, VecSharedBuffer, VectorizedEngine
 
 __all__ = [
     "EXECUTION_MODES",
@@ -37,6 +37,7 @@ __all__ = [
     "ExecutionEngine",
     "ReferenceEngine",
     "VecCtx",
+    "VecLocalBuffer",
     "VecSharedBuffer",
     "VectorizedEngine",
     "get_engine",

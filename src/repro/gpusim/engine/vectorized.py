@@ -79,6 +79,32 @@ class VecSharedBuffer:
         return int(self.data.itemsize)
 
 
+class VecLocalBuffer:
+    """Per-thread private memory of one launch, stacked over all threads.
+
+    ``data[t, i]`` is element ``i`` of (global) thread ``t``'s copy; ``size``
+    is the per-thread element count.  The reference engine allocates one
+    :class:`~repro.gpusim.buffer.DeviceBuffer` per thread per ``ctx.local()``
+    call; this is the batched equivalent (one call allocates for the grid).
+    """
+
+    space = "local"
+
+    def __init__(self, num_threads: int, shape: Sequence[int], dtype, label: str = "local") -> None:
+        self.shape = tuple(int(s) for s in shape) or (1,)
+        if any(s <= 0 for s in self.shape):
+            raise DeviceMemoryError(f"invalid local buffer shape {self.shape}")
+        self.size = int(math.prod(self.shape))
+        self.dtype = np.dtype(dtype)
+        self.data = np.zeros((num_threads, self.size), dtype=self.dtype)
+        self.label = label
+        self.buffer_id = next_buffer_id()
+
+    @property
+    def element_size(self) -> int:
+        return int(self.data.itemsize)
+
+
 class VecCtx:
     """Grid-wide execution context handed to vectorized kernels.
 
@@ -154,12 +180,16 @@ class VecCtx:
 
     def _record(
         self,
-        buffer: Union[DeviceBuffer, VecSharedBuffer],
+        buffer: Union[DeviceBuffer, VecSharedBuffer, VecLocalBuffer],
         offsets: np.ndarray,
         mask: Optional[np.ndarray],
         is_write: bool,
     ):
-        """Bounds-check and record the active lanes; returns (offsets, blocks)."""
+        """Bounds-check and record the active lanes; returns (offsets, rows).
+
+        ``rows`` is the first index into stacked per-block (shared) or
+        per-thread (local) storage, and ``None`` for flat global buffers.
+        """
         if mask is None:
             active_offsets = offsets
             blocks = self.linear_block_id
@@ -174,8 +204,14 @@ class VecCtx:
             threads = self.linear_thread_id[mask]
             slots = self._slots[mask]
             self._slots[mask] += 1
+        if isinstance(buffer, VecSharedBuffer):
+            rows: Optional[np.ndarray] = blocks
+        elif isinstance(buffer, VecLocalBuffer):
+            rows = self.global_thread_id if mask is None else self.global_thread_id[mask]
+        else:
+            rows = None
         if active_offsets.size == 0:
-            return active_offsets, blocks
+            return active_offsets, rows
         lowest = int(active_offsets.min())
         highest = int(active_offsets.max())
         if lowest < 0 or highest >= buffer.size:
@@ -213,46 +249,45 @@ class VecCtx:
                 buffer_label=buffer.label,
                 report_offsets=report_offsets,
             )
-        return active_offsets, blocks
+        return active_offsets, rows
 
     # -- memory ---------------------------------------------------------------------
     def load(
         self,
-        buffer: Union[DeviceBuffer, VecSharedBuffer],
+        buffer: Union[DeviceBuffer, VecSharedBuffer, VecLocalBuffer],
         offsets,
         where=None,
     ) -> np.ndarray:
         """Gather one element per (active) thread; inactive lanes read as 0."""
         offsets, mask = self._activate(offsets, where)
-        active_offsets, blocks = self._record(buffer, offsets, mask, is_write=False)
-        shared = isinstance(buffer, VecSharedBuffer)
+        active_offsets, rows = self._record(buffer, offsets, mask, is_write=False)
         if mask is None:
-            if shared:
-                return buffer.data[blocks, active_offsets]
+            if rows is not None:
+                return buffer.data[rows, active_offsets]
             return buffer.data[active_offsets]
         out = np.zeros(self.num_threads, dtype=buffer.dtype)
         if active_offsets.size:
-            out[mask] = buffer.data[blocks, active_offsets] if shared else buffer.data[active_offsets]
+            out[mask] = buffer.data[rows, active_offsets] if rows is not None else buffer.data[active_offsets]
         return out
 
     def store(
         self,
-        buffer: Union[DeviceBuffer, VecSharedBuffer],
+        buffer: Union[DeviceBuffer, VecSharedBuffer, VecLocalBuffer],
         offsets,
         values,
         where=None,
     ) -> None:
         """Scatter one element per (active) thread."""
         offsets, mask = self._activate(offsets, where)
-        active_offsets, blocks = self._record(buffer, offsets, mask, is_write=True)
+        active_offsets, rows = self._record(buffer, offsets, mask, is_write=True)
         if active_offsets.size == 0:
             return
         values = np.asarray(values)
         if values.ndim != 0:
             values = self._per_thread(values, "values")
             values = values if mask is None else values[mask]
-        if isinstance(buffer, VecSharedBuffer):
-            buffer.data[blocks, active_offsets] = values
+        if rows is not None:
+            buffer.data[rows, active_offsets] = values
         else:
             buffer.data[active_offsets] = values
 
@@ -283,6 +318,10 @@ class VecCtx:
                 self.num_blocks, shape, dtype=dtype, label=f"shared:{name}"
             )
         return self._shared_pool[name]
+
+    def local(self, shape: Sequence[int], dtype=np.float64, label: str = "local") -> VecLocalBuffer:
+        """Per-thread private memory (one stacked copy per thread of the grid)."""
+        return VecLocalBuffer(self.num_threads, shape, dtype=dtype, label=label)
 
 
 class VectorizedEngine(ExecutionEngine):

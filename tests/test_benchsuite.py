@@ -11,6 +11,7 @@ from repro.benchsuite.enginebench import (
     EngineBenchResult,
     EngineBenchRow,
     compare_engines,
+    run_descend_engine_bench,
     run_engine_bench,
     write_report,
 )
@@ -42,6 +43,21 @@ class TestWorkloads:
     def test_labels(self):
         assert workload("reduce", "small").label == "reduce/small"
 
+    def test_explicit_scale_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2")
+        scaled = workload("reduce", "small", scale=3)
+        from_env = workload("reduce", "small")
+        assert scaled.params["n"] == 3 * 4096
+        assert from_env.params["n"] == 2 * 4096
+        # the explicit scale must not leak into the environment
+        assert workload("reduce", "small").params["n"] == 2 * 4096
+
+    def test_scale_one_is_default(self):
+        assert workload("matmul", "small", scale=1).params == workload("matmul", "small").params
+
+    def test_invalid_scale_falls_back(self):
+        assert workload("reduce", "small", scale=0).params["n"] == 4096
+
 
 class TestRunner:
     @pytest.mark.parametrize("bench_name", BENCHMARKS)
@@ -60,8 +76,15 @@ class TestRunner:
         reference = run_benchmark_pair("transpose", "small")
         vectorized = run_benchmark_pair("transpose", "small", engine="vectorized")
         assert vectorized.cuda.cycles == reference.cuda.cycles
-        assert vectorized.cuda.correct
+        assert vectorized.descend.cycles == reference.descend.cycles
+        assert vectorized.cuda.correct and vectorized.descend.correct
         assert vectorized.relative_runtime == pytest.approx(reference.relative_runtime)
+
+    def test_scaled_pair_runs_bigger_footprint(self):
+        base = run_benchmark_pair("reduce", "small", engine="vectorized")
+        scaled = run_benchmark_pair("reduce", "small", engine="vectorized", scale=2)
+        assert scaled.workload.params["n"] == 2 * base.workload.params["n"]
+        assert scaled.cuda.correct and scaled.descend.correct
 
 
 class TestEngineBench:
@@ -87,6 +110,27 @@ class TestEngineBench:
         assert payload["geometric_mean_speedup"] == pytest.approx(
             on_disk["geometric_mean_speedup"]
         )
+
+    def test_descend_engine_bench_parity_and_report(self, tmp_path):
+        result = run_descend_engine_bench(
+            benchmarks=("transpose",), sizes=("small",), scales=(1,)
+        )
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row.variant == "descend" and row.scale == 1
+        assert row.cycles_match
+        assert row.speedup > 1.0
+        path = tmp_path / "BENCH_descend_test.json"
+        payload = write_report(result, str(path), quick=True)
+        on_disk = json.loads(path.read_text())
+        assert on_disk["kind"] == "descend-engine-bench"
+        assert on_disk["workloads"][0]["variant"] == "descend"
+        assert payload["all_cycles_match"] is True
+
+    def test_descend_compare_engines_scaled(self):
+        row = compare_engines("reduce", "small", variant="descend", scale=2)
+        assert row.scale == 2
+        assert row.cycles_match
 
     def test_aggregates(self):
         result = EngineBenchResult(

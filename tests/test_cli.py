@@ -90,3 +90,27 @@ def test_figure8_engine_flag(capsys):
     assert main(["figure8", "--benchmarks", "transpose", "--sizes", "small",
                  "--engine", "vectorized"]) == 0
     assert "transpose" in capsys.readouterr().out
+
+
+def test_figure8_scale_flag(capsys):
+    import json
+
+    assert main(["figure8", "--benchmarks", "reduce", "--sizes", "small",
+                 "--engine", "vectorized", "--scale", "2", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    # reduce/small is 4096 f64 elements at scale 1 -> 64 KiB at scale 2
+    assert payload["rows"][0]["footprint_bytes"] == 2 * 4096 * 8
+
+
+def test_bench_descend_writes_report(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "BENCH_descend_cli.json"
+    assert main(["bench", "--descend", "--benchmarks", "transpose", "--scales", "1",
+                 "--output", str(out_path)]) == 0
+    assert "descend" in capsys.readouterr().out
+    payload = json.loads(out_path.read_text())
+    assert payload["kind"] == "descend-engine-bench"
+    assert payload["all_cycles_match"] is True
+    assert payload["workloads"][0]["variant"] == "descend"
+    assert payload["workloads"][0]["speedup"] > 1.0

@@ -450,6 +450,59 @@ class TestVecCtxSemantics:
         assert np.array_equal(device_vectorized.to_host(out), np.arange(4, dtype=np.float64))
         assert not launch.races
 
+    def test_local_memory_parity(self, rng):
+        """ctx.local gives each thread a private row; cost folds into arithmetic."""
+
+        def ref(ctx, out):
+            scratch = ctx.local((2,))
+            ctx.store(scratch, 0, float(ctx.threadIdx.x))
+            ctx.store(out, ctx.global_thread_id, ctx.load(scratch, 0) * 2.0)
+            return
+            yield
+
+        @vectorized_impl(ref)
+        def vec(ctx, out):
+            scratch = ctx.local((2,))
+            ctx.store(scratch, 0, ctx.threadIdx.x.astype(np.float64))
+            ctx.store(out, ctx.global_thread_id, ctx.load(scratch, 0) * 2.0)
+
+        results = {}
+        for mode in ("reference", "vectorized"):
+            device = GpuDevice(execution_mode=mode)
+            out = device.malloc((8,))
+            launch = device.launch(ref, grid_dim=(2,), block_dim=(4,), args=(out,))
+            results[mode] = (device.to_host(out), launch)
+        ref_out, ref_launch = results["reference"]
+        vec_out, vec_launch = results["vectorized"]
+        assert np.array_equal(ref_out, vec_out)
+        assert np.array_equal(vec_out, np.tile(np.arange(4, dtype=np.float64) * 2.0, 2))
+        assert ref_launch.cycles == vec_launch.cycles
+        assert ref_launch.cost.summary() == vec_launch.cost.summary()
+        assert not vec_launch.races
+
+    def test_local_memory_masked_lanes(self, device_vectorized):
+        """Masked lanes neither touch their private row nor advance their slot."""
+
+        def ref(ctx, out):
+            scratch = ctx.local((1,))
+            if ctx.threadIdx.x < 2:
+                ctx.store(scratch, 0, 1.0)
+                ctx.store(out, ctx.threadIdx.x, ctx.load(scratch, 0))
+            return
+            yield
+
+        @vectorized_impl(ref)
+        def vec(ctx, out):
+            scratch = ctx.local((1,))
+            active = ctx.threadIdx.x < 2
+            ctx.store(scratch, 0, 1.0, where=active)
+            ctx.store(out, ctx.threadIdx.x, ctx.load(scratch, 0, where=active), where=active)
+
+        out = device_vectorized.malloc((4,))
+        launch = device_vectorized.launch(ref, grid_dim=(1,), block_dim=(4,), args=(out,))
+        assert np.array_equal(device_vectorized.to_host(out), [1.0, 1.0, 0.0, 0.0])
+        assert not launch.races
+
     def test_barrier_accounting_matches_reference(self, device, device_vectorized, rng):
         data = rng.random(256)
         results = []

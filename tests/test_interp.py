@@ -3,11 +3,33 @@
 import numpy as np
 import pytest
 
+from repro.descend.builder import (
+    F64,
+    GPU_GLOBAL,
+    alloc_local,
+    array,
+    assign,
+    block,
+    body,
+    dim_x,
+    fun,
+    gpu_grid_spec,
+    if_,
+    let,
+    lit_bool,
+    param,
+    program,
+    read,
+    sched,
+    sync,
+    uniq_ref,
+    var,
+)
 from repro.descend.compiler import compile_program, compile_source
-from repro.descend.interp import DescendKernel, HostInterpreter
+from repro.descend.interp import DescendKernel, HostInterpreter, PlanUnsupported, compile_device_plan
 from repro.descend.typeck import check_program
-from repro.descend_programs import matmul, reduce, scan, transpose, vector
-from repro.errors import DescendRuntimeError
+from repro.descend_programs import matmul, reduce, scan, transpose, unsafe, vector
+from repro.errors import BarrierDivergenceError, DescendRuntimeError
 from repro.gpusim import GpuDevice
 
 
@@ -104,6 +126,237 @@ class TestDeviceInterpreter:
             DescendKernel(program, "host_scale")
 
 
+def _launch_both_engines(build_program, kernel_name, make_args):
+    """Run one Descend kernel on both engines; returns {mode: (launch, buffers, kernel)}."""
+    out = {}
+    for mode in ("reference", "vectorized"):
+        device = GpuDevice(execution_mode=mode)
+        kernel = DescendKernel(build_program(), kernel_name)
+        args, readback = make_args(device)
+        launch = kernel.launch(device, args)
+        buffers = {name: device.to_host(buf).copy() for name, buf in readback.items()}
+        out[mode] = (launch, buffers, kernel)
+    return out
+
+
+def _assert_engine_parity(out, racy=False):
+    ref_launch, ref_buffers, _ = out["reference"]
+    vec_launch, vec_buffers, vec_kernel = out["vectorized"]
+    assert vec_kernel.fallback_reason is None
+    assert vec_launch.execution_mode == "vectorized"
+    assert ref_launch.cycles == vec_launch.cycles, (
+        ref_launch.cost.summary(),
+        vec_launch.cost.summary(),
+    )
+    assert ref_launch.cost.summary() == vec_launch.cost.summary()
+    assert ref_launch.barriers == vec_launch.barriers
+    assert bool(ref_launch.races) == bool(vec_launch.races) == racy
+    for name in ref_buffers:
+        assert np.array_equal(ref_buffers[name], vec_buffers[name]), name
+
+
+class TestVectorizedParity:
+    """Every descend_programs module: identical cycles, buffers, race verdicts."""
+
+    def test_scale_vec(self, rng):
+        data = rng.random(128)
+
+        def make_args(device):
+            buf = device.to_device(data)
+            return {"vec": buf}, {"vec": buf}
+
+        out = _launch_both_engines(
+            lambda: vector.build_scale_program(n=128, block_size=32), "scale_vec", make_args
+        )
+        _assert_engine_parity(out)
+        assert np.allclose(out["vectorized"][1]["vec"], data * 3.0)
+
+    def test_saxpy(self, rng):
+        x, y = rng.random(64), rng.random(64)
+
+        def make_args(device):
+            dx, dy = device.to_device(x), device.to_device(y)
+            return {"y": dy, "x": dx, "alpha": 2.0}, {"y": dy}
+
+        out = _launch_both_engines(
+            lambda: vector.build_saxpy_program(n=64, block_size=32), "saxpy", make_args
+        )
+        _assert_engine_parity(out)
+        assert np.allclose(out["vectorized"][1]["y"], 2.0 * x + y)
+
+    def test_reduce(self, rng):
+        data = rng.random(512)
+
+        def make_args(device):
+            input_buf = device.to_device(data)
+            output_buf = device.malloc((16,), dtype=np.float64)
+            return {"input": input_buf, "output": output_buf}, {"output": output_buf}
+
+        out = _launch_both_engines(
+            lambda: reduce.build_reduce_program(n=512, block_size=32), "block_reduce", make_args
+        )
+        _assert_engine_parity(out)
+        assert np.allclose(out["vectorized"][1]["output"], data.reshape(16, 32).sum(axis=1))
+
+    def test_transpose(self, rng):
+        data = rng.random((32, 32))
+
+        def make_args(device):
+            input_buf = device.to_device(data)
+            output_buf = device.malloc((32, 32), dtype=np.float64)
+            return {"input": input_buf, "output": output_buf}, {"output": output_buf}
+
+        out = _launch_both_engines(
+            lambda: transpose.build_transpose_program(n=32, tile=8, rows=2), "transpose", make_args
+        )
+        _assert_engine_parity(out)
+        assert np.allclose(out["vectorized"][1]["output"], data.T)
+
+    def test_scan_both_kernels(self, rng):
+        data = rng.random(512)
+        build = lambda: scan.build_scan_program(n=512, block_size=16, elems_per_thread=4)  # noqa: E731
+
+        def make_scan_args(device):
+            input_buf = device.to_device(data)
+            output_buf = device.malloc((512,), dtype=np.float64)
+            sums_buf = device.malloc((8,), dtype=np.float64)
+            args = {"input": input_buf, "output": output_buf, "block_sums": sums_buf}
+            return args, {"output": output_buf, "block_sums": sums_buf}
+
+        _assert_engine_parity(_launch_both_engines(build, "scan_blocks", make_scan_args))
+
+        offsets = rng.random(8)
+
+        def make_offsets_args(device):
+            output_buf = device.to_device(data)
+            offsets_buf = device.to_device(offsets)
+            return {"output": output_buf, "offsets": offsets_buf}, {"output": output_buf}
+
+        _assert_engine_parity(_launch_both_engines(build, "add_offsets", make_offsets_args))
+
+    def test_matmul(self, rng):
+        a, b = rng.random((16, 16)), rng.random((16, 16))
+
+        def make_args(device):
+            a_buf, b_buf = device.to_device(a), device.to_device(b)
+            c_buf = device.malloc((16, 16), dtype=np.float64)
+            return {"a": a_buf, "b": b_buf, "c": c_buf}, {"c": c_buf}
+
+        out = _launch_both_engines(
+            lambda: matmul.build_matmul_program(m=16, k=16, n=16, tile=8), "matmul", make_args
+        )
+        _assert_engine_parity(out)
+        assert np.allclose(out["vectorized"][1]["c"], a @ b)
+
+    @pytest.mark.parametrize(
+        "build", [unsafe.build_rev_per_block_race, unsafe.build_missing_sync]
+    )
+    def test_unsafe_programs_race_on_both_engines(self, build):
+        """The statically rejected racy kernels race *dynamically* on both engines."""
+
+        def make_args(device):
+            arr = device.to_device(np.arange(256, dtype=np.float64))
+            return {"arr": arr}, {}
+
+        out = _launch_both_engines(
+            build, build().fun_defs[0].name, make_args
+        )
+        _assert_engine_parity(out, racy=True)
+        assert len(out["reference"][0].races) == len(out["vectorized"][0].races) > 0
+
+    def test_local_memory_parity(self, rng):
+        """`alloc::<gpu.local>` becomes per-thread stacked storage in the plan."""
+        data = rng.random(64)
+
+        def build():
+            elem = var("vec").view("group", 32).select("block").select("thread")
+            kernel = fun(
+                "local_roundtrip",
+                [param("vec", uniq_ref(GPU_GLOBAL, array(F64, 64)))],
+                gpu_grid_spec("grid", dim_x(2), dim_x(32)),
+                body(
+                    sched(
+                        "X",
+                        "block",
+                        "grid",
+                        sched(
+                            "X",
+                            "thread",
+                            "block",
+                            let("tmp", alloc_local(array(F64, 2))),
+                            assign(var("tmp").idx(0), read(elem)),
+                            assign(var("tmp").idx(1), read(var("tmp").idx(0))),
+                            assign(elem, read(var("tmp").idx(1))),
+                        ),
+                    )
+                ),
+            )
+            return program(kernel)
+
+        def make_args(device):
+            buf = device.to_device(data)
+            return {"vec": buf}, {"vec": buf}
+
+        out = _launch_both_engines(build, "local_roundtrip", make_args)
+        _assert_engine_parity(out)
+        assert np.allclose(out["vectorized"][1]["vec"], data)
+
+
+class TestVectorizedFallback:
+    def test_sync_under_split_falls_back_and_diverges(self):
+        """barrier_in_split cannot be vectorized; both modes report divergence."""
+        for mode in ("reference", "vectorized"):
+            device = GpuDevice(execution_mode=mode)
+            kernel = DescendKernel(unsafe.build_barrier_in_split(), "kernel")
+            arr = device.to_device(np.zeros(1024))
+            with pytest.raises(BarrierDivergenceError):
+                kernel.launch(device, {"arr": arr})
+            if mode == "vectorized":
+                assert kernel.fallback_reason is not None
+                assert "sync" in kernel.fallback_reason
+
+    def test_sync_under_if_falls_back_to_reference(self, rng):
+        """A sync nested under `if` runs on the reference engine transparently."""
+        data = rng.random(64)
+        elem = var("vec").view("group", 32).select("block").select("thread")
+        kernel_def = fun(
+            "guarded_sync",
+            [param("vec", uniq_ref(GPU_GLOBAL, array(F64, 64)))],
+            gpu_grid_spec("grid", dim_x(2), dim_x(32)),
+            body(
+                sched(
+                    "X",
+                    "block",
+                    "grid",
+                    sched(
+                        "X",
+                        "thread",
+                        "block",
+                        if_(lit_bool(True), block(sync())),
+                        assign(elem, read(elem)),
+                    ),
+                )
+            ),
+        )
+        device = GpuDevice(execution_mode="vectorized")
+        kernel = DescendKernel(program(kernel_def), "guarded_sync")
+        buf = device.to_device(data)
+        launch = kernel.launch(device, {"vec": buf})
+        assert launch.execution_mode == "reference"
+        assert kernel.fallback_reason is not None
+        assert np.allclose(device.to_host(buf), data)
+
+    def test_compile_device_plan_rejects_unsupported(self):
+        with pytest.raises(PlanUnsupported):
+            compile_device_plan(unsafe.build_barrier_in_split().fun("kernel"))
+
+    def test_supported_program_compiles(self):
+        plan = compile_device_plan(
+            vector.build_scale_program(n=64, block_size=32).fun("scale_vec")
+        )
+        assert plan.fun_name == "scale_vec"
+
+
 class TestHostInterpreter:
     def test_full_pipeline(self, device):
         program = vector.build_scale_program(n=256, block_size=32)
@@ -113,6 +366,24 @@ class TestHostInterpreter:
         assert np.allclose(result.array("h_vec"), data * 3.0)
         assert len(result.launches) == 1
         assert result.total_kernel_cycles > 0
+
+    def test_full_pipeline_vectorized(self, device_vectorized, device):
+        """The host pipeline's launches run on the device-plan backend."""
+        program = vector.build_scale_program(n=256, block_size=32)
+        data = np.linspace(0, 1, 256)
+        vectorized = HostInterpreter(program, device_vectorized).run("host_scale", {"h_vec": data})
+        reference = HostInterpreter(program, device).run("host_scale", {"h_vec": data})
+        assert np.allclose(vectorized.array("h_vec"), data * 3.0)
+        assert vectorized.launches[0].execution_mode == "vectorized"
+        assert vectorized.launches[0].cycles == reference.launches[0].cycles
+
+    def test_execution_mode_overrides_device_default(self, device):
+        program = vector.build_scale_program(n=64, block_size=32)
+        data = np.ones(64)
+        result = HostInterpreter(program, device, execution_mode="vectorized").run(
+            "host_scale", {"h_vec": data}
+        )
+        assert result.launches[0].execution_mode == "vectorized"
 
     def test_missing_argument(self, device):
         program = vector.build_scale_program(n=256, block_size=32)

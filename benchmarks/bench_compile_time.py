@@ -7,8 +7,10 @@ at compile time, per benchmark program.
 
 import pytest
 
+from repro.descend.ast.printer import print_program
+from repro.descend.driver import CompilerDriver, CompileSession
 from repro.descend.nat import NatVar, as_nat, clear_nat_caches, evaluate_nat, normalize
-from repro.descend.typeck import check_program
+from repro.descend.typeck import check_program, clear_typeck_caches
 from repro.descend_programs.matmul import build_matmul_program
 from repro.descend_programs.reduce import build_reduce_program
 from repro.descend_programs.scan import build_scan_program
@@ -29,6 +31,39 @@ def test_typecheck_time(benchmark, name):
     program = _PROGRAMS[name]()
     checked = benchmark(check_program, program)
     assert checked.fn_types
+
+
+def test_typecheck_cold(benchmark):
+    """Typechecking with every memoization layer (nat, overlap, exec) dropped."""
+    program = _PROGRAMS["matmul"]()
+
+    def run():
+        clear_nat_caches()
+        clear_typeck_caches()
+        return check_program(program)
+
+    assert benchmark(run).fn_types
+
+
+def test_driver_cold_compile(benchmark):
+    """Full cold pipeline (parse + typeck) through the staged driver."""
+    text = print_program(_PROGRAMS["matmul"]())
+
+    def run():
+        clear_nat_caches()
+        clear_typeck_caches()
+        return CompilerDriver(CompileSession()).compile_source(text, name="matmul.descend")
+
+    assert benchmark(run).checked.fn_types
+
+
+def test_driver_cached_compile(benchmark):
+    """The same compile hitting the session's content-addressed cache."""
+    text = print_program(_PROGRAMS["matmul"]())
+    driver = CompilerDriver(CompileSession())
+    first = driver.compile_source(text, name="matmul.descend")
+    result = benchmark(driver.compile_source, text, "matmul.descend")
+    assert result is first
 
 
 # The reduction stride family `block_size / 2^(k+1)` is the hottest nat in

@@ -29,12 +29,17 @@ import math
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.benchsuite.report import format_bytes, format_table
-from repro.benchsuite.runner import _CUDA_RUNNERS, _DESCEND_RUNNERS, _reference_and_data
+from repro.benchsuite.runner import (
+    _CUDA_RUNNERS,
+    _DESCEND_RUNNERS,
+    _reference_and_data,
+    precompile_descend,
+)
 from repro.benchsuite.workloads import BENCHMARKS, SIZES, Workload, scale_factor, workload
 from repro.errors import BenchmarkError
 from repro.gpusim import GpuDevice
@@ -43,8 +48,14 @@ from repro.gpusim import GpuDevice
 DEFAULT_SIZES = ("small", "medium")
 QUICK_SIZES = ("small",)
 #: Scales swept by the Descend engine benchmark (and its ``--quick`` subset).
-DESCEND_SCALES = (1, 4)
+DESCEND_SCALES = (1, 4, 8)
 QUICK_DESCEND_SCALES = (1,)
+#: The default ``(size, scale)`` rows of the Descend engine benchmark: the
+#: small footprint across all scales plus the medium row at the largest
+#: scale (feasible since workloads compile once per sweep through the
+#: session-cached driver).
+DESCEND_ROWS = (("small", 1), ("small", 4), ("small", 8), ("medium", 8))
+QUICK_DESCEND_ROWS = (("small", 1),)
 
 
 @dataclass
@@ -195,6 +206,11 @@ def compare_engines(
     data, reference = _reference_and_data(workload_)
     runners = _DESCEND_RUNNERS if variant == "descend" else _CUDA_RUNNERS
     runner = runners[benchmark]
+    if variant == "descend":
+        # Warm the compile cache outside the timed regions so both engines
+        # measure pure execution (the reference engine is timed first and
+        # would otherwise pay the cold typeck the vectorized run then skips).
+        precompile_descend(benchmark, workload_.params)
     ref_cycles, ref_wall = _time_variant(runner, workload_, data, reference, "reference", repeats)
     vec_cycles, vec_wall = _time_variant(runner, workload_, data, reference, "vectorized", repeats)
     row = EngineBenchRow(
@@ -235,8 +251,9 @@ def run_engine_bench(
 
 def run_descend_engine_bench(
     benchmarks: Sequence[str] = BENCHMARKS,
-    sizes: Sequence[str] = QUICK_SIZES,
-    scales: Sequence[int] = DESCEND_SCALES,
+    sizes: Optional[Sequence[str]] = None,
+    scales: Optional[Sequence[int]] = None,
+    rows: Optional[Sequence[Tuple[str, int]]] = None,
     repeats: int = 1,
     progress=None,
 ) -> EngineBenchResult:
@@ -244,22 +261,33 @@ def run_descend_engine_bench(
 
     This is the perf trajectory for the interpreter's device-plan backend:
     cycle parity is asserted per workload, and the wall-clock columns record
-    how far ``REPRO_SCALE`` can be pushed now that the sweep is vectorized.
+    how far ``REPRO_SCALE`` can be pushed now that the sweep is vectorized
+    and workloads compile once per sweep.  The sweep is a list of
+    ``(size, scale)`` rows: pass ``rows`` directly, or ``sizes`` / ``scales``
+    to take their cartesian product; the default is :data:`DESCEND_ROWS`.
     """
+    if rows is None:
+        if sizes is None and scales is None:
+            rows = DESCEND_ROWS
+        else:
+            rows = tuple(
+                (size, scale)
+                for scale in (scales if scales is not None else DESCEND_SCALES)
+                for size in (sizes if sizes is not None else QUICK_SIZES)
+            )
     result = EngineBenchResult(kind="descend-engine-bench")
-    for scale in scales:
+    for size, scale in rows:
         for benchmark in benchmarks:
-            for size in sizes:
-                if progress is not None:
-                    progress(
-                        f"benchmarking descend {benchmark}/{size} at scale {scale} "
-                        "on both engines ..."
-                    )
-                result.rows.append(
-                    compare_engines(
-                        benchmark, size, repeats=repeats, variant="descend", scale=scale
-                    )
+            if progress is not None:
+                progress(
+                    f"benchmarking descend {benchmark}/{size} at scale {scale} "
+                    "on both engines ..."
                 )
+            result.rows.append(
+                compare_engines(
+                    benchmark, size, repeats=repeats, variant="descend", scale=scale
+                )
+            )
     return result
 
 
@@ -283,7 +311,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--repeats", type=int, default=1)
     parser.add_argument(
         "--quick", action="store_true",
-        help=f"CI smoke subset: sizes {QUICK_SIZES} (and scales {QUICK_DESCEND_SCALES} with --descend)",
+        help=f"CI smoke subset: sizes {QUICK_SIZES} (and rows {QUICK_DESCEND_ROWS} with --descend)",
     )
     parser.add_argument(
         "--descend", action="store_true",
@@ -291,7 +319,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--scales", nargs="*", type=int, default=None,
-        help=f"workload scales for the Descend variant (default: {list(DESCEND_SCALES)})",
+        help=f"workload scales for the Descend variant (default rows: {list(DESCEND_ROWS)})",
     )
     parser.add_argument(
         "--scale", type=int, default=None,
@@ -314,13 +342,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     progress = lambda msg: print(msg, file=sys.stderr)  # noqa: E731
     try:
         if args.descend:
-            sizes = args.sizes if args.sizes else list(QUICK_SIZES)
+            sizes = list(args.sizes) if args.sizes else None
             if args.scales:
-                scales = args.scales
+                scales: Optional[List[int]] = list(args.scales)
             elif args.scale is not None:
                 scales = [args.scale]
+            elif args.quick:
+                # CI smoke subset: the QUICK_DESCEND_ROWS footprint.
+                scales = list(QUICK_DESCEND_SCALES)
+                sizes = sizes if sizes is not None else list(QUICK_SIZES)
             else:
-                scales = list(QUICK_DESCEND_SCALES) if args.quick else list(DESCEND_SCALES)
+                scales = None
             result = run_descend_engine_bench(
                 benchmarks=args.benchmarks,
                 sizes=sizes,

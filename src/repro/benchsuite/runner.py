@@ -28,8 +28,7 @@ from repro.cudalite.kernels import matmul as cu_matmul
 from repro.cudalite.kernels import reduce as cu_reduce
 from repro.cudalite.kernels import scan as cu_scan
 from repro.cudalite.kernels import transpose as cu_transpose
-from repro.descend.interp import DescendKernel
-from repro.descend.typeck import check_program
+from repro.descend.compiler import compile_program
 from repro.descend_programs import matmul as d_matmul
 from repro.descend_programs import reduce as d_reduce
 from repro.descend_programs import scan as d_scan
@@ -144,14 +143,44 @@ def _run_cuda_matmul(device: GpuDevice, params: Dict[str, int], data: Tuple[np.n
 # ---------------------------------------------------------------------------
 
 
+# Builders for the Descend variant of each workload.  The runners compile
+# through the content-cached driver, so repeated runs of one workload
+# (sweeps, repeats, both engines) type check and lower exactly once; see
+# also `precompile_descend`, which warms the cache outside timed regions.
+_DESCEND_BUILDERS = {
+    "reduce": lambda p: d_reduce.build_reduce_program(n=p["n"], block_size=p["block_size"]),
+    "transpose": lambda p: d_transpose.build_transpose_program(
+        n=p["n"], tile=p["tile"], rows=p["rows"]
+    ),
+    "scan": lambda p: d_scan.build_scan_program(
+        n=p["n"], block_size=p["block_size"], elems_per_thread=p["elems_per_thread"]
+    ),
+    "matmul": lambda p: d_matmul.build_matmul_program(
+        m=p["m"], k=p["k"], n=p["n"], tile=p["tile"]
+    ),
+}
+
+
+def precompile_descend(benchmark: str, params: Dict[str, int]) -> None:
+    """Warm the compile cache for one Descend workload, device plans included.
+
+    Wall-clock benchmarks call this before their timed region so both
+    engines measure pure execution: without it the first reference run
+    would pay the cold typeck and the first vectorized run the cold plan
+    lowering, which later runs then get from the cache.
+    """
+    compiled = compile_program(_DESCEND_BUILDERS[benchmark](params))
+    for fun_name in compiled.gpu_function_names():
+        compiled.device_plan(fun_name)
+
+
 def _run_descend_reduce(device: GpuDevice, params: Dict[str, int], data: np.ndarray):
     n, block_size = params["n"], params["block_size"]
     num_blocks = n // block_size
-    program = d_reduce.build_reduce_program(n=n, block_size=block_size)
-    check_program(program)
+    compiled = compile_program(_DESCEND_BUILDERS["reduce"](params))
     input_buf = device.to_device(data, label="input")
     output_buf = device.malloc((num_blocks,), dtype=np.float64, label="partials")
-    launch = DescendKernel(program, "block_reduce").launch(
+    launch = compiled.kernel("block_reduce").launch(
         device, {"input": input_buf, "output": output_buf}
     )
     return launch.cycles, device.to_host(output_buf), len(launch.races), launch.cost.summary()
@@ -159,11 +188,10 @@ def _run_descend_reduce(device: GpuDevice, params: Dict[str, int], data: np.ndar
 
 def _run_descend_transpose(device: GpuDevice, params: Dict[str, int], data: np.ndarray):
     n, tile, rows = params["n"], params["tile"], params["rows"]
-    program = d_transpose.build_transpose_program(n=n, tile=tile, rows=rows)
-    check_program(program)
+    compiled = compile_program(_DESCEND_BUILDERS["transpose"](params))
     input_buf = device.to_device(data, label="input")
     output_buf = device.malloc((n, n), dtype=np.float64, label="output")
-    launch = DescendKernel(program, "transpose").launch(
+    launch = compiled.kernel("transpose").launch(
         device, {"input": input_buf, "output": output_buf}
     )
     return launch.cycles, device.to_host(output_buf), len(launch.races), launch.cost.summary()
@@ -173,17 +201,16 @@ def _run_descend_scan(device: GpuDevice, params: Dict[str, int], data: np.ndarra
     n, block_size, per_thread = params["n"], params["block_size"], params["elems_per_thread"]
     chunk = block_size * per_thread
     num_blocks = n // chunk
-    program = d_scan.build_scan_program(n=n, block_size=block_size, elems_per_thread=per_thread)
-    check_program(program)
+    compiled = compile_program(_DESCEND_BUILDERS["scan"](params))
     input_buf = device.to_device(data, label="input")
     output_buf = device.malloc((n,), dtype=np.float64, label="output")
     sums_buf = device.malloc((num_blocks,), dtype=np.float64, label="block_sums")
-    first = DescendKernel(program, "scan_blocks").launch(
+    first = compiled.kernel("scan_blocks").launch(
         device, {"input": input_buf, "output": output_buf, "block_sums": sums_buf}
     )
     offsets = cu_scan.exclusive_scan_on_host(device.to_host(sums_buf))
     offsets_buf = device.to_device(offsets, label="offsets")
-    second = DescendKernel(program, "add_offsets").launch(
+    second = compiled.kernel("add_offsets").launch(
         device, {"output": output_buf, "offsets": offsets_buf}
     )
     cycles = first.cycles + second.cycles
@@ -195,12 +222,11 @@ def _run_descend_scan(device: GpuDevice, params: Dict[str, int], data: np.ndarra
 def _run_descend_matmul(device: GpuDevice, params: Dict[str, int], data: Tuple[np.ndarray, np.ndarray]):
     m, k, n, tile = params["m"], params["k"], params["n"], params["tile"]
     a, b = data
-    program = d_matmul.build_matmul_program(m=m, k=k, n=n, tile=tile)
-    check_program(program)
+    compiled = compile_program(_DESCEND_BUILDERS["matmul"](params))
     a_buf = device.to_device(a, label="A")
     b_buf = device.to_device(b, label="B")
     c_buf = device.malloc((m, n), dtype=np.float64, label="C")
-    launch = DescendKernel(program, "matmul").launch(
+    launch = compiled.kernel("matmul").launch(
         device, {"a": a_buf, "b": b_buf, "c": c_buf}
     )
     return launch.cycles, device.to_host(c_buf), len(launch.races), launch.cost.summary()

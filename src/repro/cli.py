@@ -15,12 +15,18 @@ Sub-commands:
 ``descendc figure8 [--sizes small ...] [--engine vectorized] [--scale N]``
     Run the benchmark harness reproducing Figure 8 of the paper.
 
-``descendc bench [--quick] [--descend] [--scales 1 4]``
+``descendc bench [--quick] [--descend] [--compile] [--scales 1 4 8]``
     Benchmark the reference vs the warp-vectorized execution engine on the
     Figure 8 workloads (CUDA-lite kernels by default, the Descend programs
     through the device-plan compiler with ``--descend``), assert cycle-count
     parity, and write a ``BENCH_*.json`` report (the CI bench-smoke
-    artifacts).
+    artifacts).  ``--compile`` benchmarks the *compiler* instead: the staged
+    driver's per-pass timings, cold vs session-cached
+    (``BENCH_compile_time.json``).
+
+All sub-commands share one :class:`~repro.descend.driver.CompileSession`:
+repeated compiles of the same file hit the content-addressed pass cache.
+``--timings`` prints the session's pass breakdown after the command.
 """
 
 from __future__ import annotations
@@ -29,12 +35,22 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.descend.compiler import compile_file
+from repro.descend.compiler import CompilerDriver, CompileSession, set_active_session
 from repro.errors import DescendError, DescendSyntaxError, DescendTypeError
+
+#: The session shared by every sub-command of one CLI invocation.
+_SESSION = CompileSession(label="cli")
+_DRIVER = CompilerDriver(_SESSION)
 
 
 def _load(path: str):
-    return compile_file(path)
+    return _DRIVER.compile_file(path)
+
+
+def _print_timings(args: argparse.Namespace) -> None:
+    if getattr(args, "timings", False):
+        print(f"\npass timings ({_SESSION.label} session):", file=sys.stderr)
+        print(_SESSION.timings_table(), file=sys.stderr)
 
 
 def _print_failure(exc: Exception, path: str) -> None:
@@ -108,6 +124,28 @@ def cmd_figure8(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.compile:
+        if args.descend or args.benchmarks or args.sizes or args.scales or args.scale is not None:
+            print(
+                "error: --compile benchmarks the compiler itself and does not take "
+                "workload flags (--descend/--benchmarks/--sizes/--scales/--scale); "
+                "combine it only with --quick/--repeats/--output/--json",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.benchsuite import compilebench
+
+        forwarded = []
+        if args.quick:
+            forwarded.append("--quick")
+        if args.repeats:
+            forwarded += ["--repeats", str(args.repeats)]
+        if args.output:
+            forwarded += ["--output", args.output]
+        if args.json:
+            forwarded.append("--json")
+        return compilebench.main(forwarded)
+
     from repro.benchsuite import enginebench
 
     forwarded = []
@@ -139,17 +177,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    timings_help = "print the compile session's per-pass timing breakdown"
+
     check = sub.add_parser("check", help="parse and type check a .descend file")
     check.add_argument("file")
+    check.add_argument("--timings", action="store_true", help=timings_help)
     check.set_defaults(func=cmd_check)
 
     compile_ = sub.add_parser("compile", help="emit CUDA C++ for a .descend file")
     compile_.add_argument("file")
     compile_.add_argument("-o", "--output")
+    compile_.add_argument("--timings", action="store_true", help=timings_help)
     compile_.set_defaults(func=cmd_compile)
 
     print_ = sub.add_parser("print", help="pretty-print a .descend file")
     print_.add_argument("file")
+    print_.add_argument("--timings", action="store_true", help=timings_help)
     print_.set_defaults(func=cmd_print)
 
     fig8 = sub.add_parser("figure8", help="run the Figure 8 benchmark harness")
@@ -174,8 +217,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark the Descend programs (device-plan backend) instead of CUDA-lite",
     )
     bench.add_argument(
+        "--compile", action="store_true",
+        help="benchmark compile time instead: staged driver passes, cold vs cached "
+        "(writes BENCH_compile_time.json)",
+    )
+    bench.add_argument(
         "--scales", nargs="*", type=int,
-        help="workload scales for --descend (default: 1 4)",
+        help="workload scales for --descend (default rows: small x 1/4/8 + medium x 8)",
     )
     bench.add_argument("--scale", type=int, default=None, help="workload scale (CUDA-lite variant)")
     bench.add_argument("--repeats", type=int)
@@ -189,11 +237,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Install the CLI session as the process-wide one so every consumer the
+    # sub-commands touch (interpreter launches, benchsuite sweeps) shares it.
+    previous = set_active_session(_SESSION)
     try:
-        return args.func(args)
+        result = args.func(args)
+        _print_timings(args)
+        return result
     except DescendError as exc:  # pragma: no cover - defensive top-level handler
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        set_active_session(previous)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,11 +16,55 @@ The type checker uses execution resources for three things (Section 3.1):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Tuple
 
 from repro.descend.ast.dims import Dim, DimName
 from repro.descend.nat import Nat, NatLike, as_nat
 from repro.errors import DescendError
+
+# Execution resources are immutable value objects, but the scheduling-state
+# queries below walk the derivation chain recursively and the type checker
+# asks them for every statement and place it visits.  The module-level
+# lru_caches turn the repeated walks into single hash lookups (structurally
+# equal resources share one cache entry).
+
+
+@lru_cache(maxsize=16384)
+def _pending_dims(res: "ExecResource") -> Tuple[Tuple[DimName, ...], Tuple[DimName, ...]]:
+    grid = res.base_grid()
+    if grid is None:
+        return ((), ())
+    done_blocks = set(res.scheduled_block_dims())
+    done_threads = set(res.scheduled_thread_dims())
+    return (
+        tuple(name for name in grid.blocks.names if name not in done_blocks),
+        tuple(name for name in grid.threads.names if name not in done_threads),
+    )
+
+
+@lru_cache(maxsize=16384)
+def _forall_scheduled(res: "ForallRes") -> Tuple[Tuple[DimName, ...], Tuple[DimName, ...]]:
+    inherited_blocks = res.base.scheduled_block_dims()
+    inherited_threads = res.base.scheduled_thread_dims()
+    if res.over_blocks():
+        return (inherited_blocks + res.dims, inherited_threads)
+    return (inherited_blocks, inherited_threads + res.dims)
+
+
+@lru_cache(maxsize=16384)
+def _chain(res: "ExecResource") -> Tuple["ExecResource", ...]:
+    base = getattr(res, "base", None)
+    if base is None:
+        return (res,)
+    return _chain(base) + (res,)
+
+
+def clear_exec_caches() -> None:
+    """Drop the execution-resource memoization caches (cold benchmarking)."""
+    _pending_dims.cache_clear()
+    _forall_scheduled.cache_clear()
+    _chain.cache_clear()
 
 
 class ExecResource:
@@ -35,7 +79,7 @@ class ExecResource:
 
     def chain(self) -> List["ExecResource"]:
         """The derivation chain from the root resource to ``self`` (inclusive)."""
-        raise NotImplementedError
+        return list(_chain(self))
 
     def is_gpu(self) -> bool:
         return self.base_grid() is not None
@@ -50,18 +94,10 @@ class ExecResource:
         raise NotImplementedError
 
     def pending_block_dims(self) -> Tuple[DimName, ...]:
-        grid = self.base_grid()
-        if grid is None:
-            return ()
-        done = set(self.scheduled_block_dims())
-        return tuple(name for name in grid.blocks.names if name not in done)
+        return _pending_dims(self)[0]
 
     def pending_thread_dims(self) -> Tuple[DimName, ...]:
-        grid = self.base_grid()
-        if grid is None:
-            return ()
-        done = set(self.scheduled_thread_dims())
-        return tuple(name for name in grid.threads.names if name not in done)
+        return _pending_dims(self)[1]
 
     def blocks_fully_scheduled(self) -> bool:
         return self.is_gpu() and not self.pending_block_dims()
@@ -157,9 +193,6 @@ class CpuThreadRes(ExecResource):
     def base_grid(self) -> Optional["GpuGridRes"]:
         return None
 
-    def chain(self) -> List[ExecResource]:
-        return [self]
-
     def scheduled_block_dims(self) -> Tuple[DimName, ...]:
         return ()
 
@@ -179,9 +212,6 @@ class GpuGridRes(ExecResource):
 
     def base_grid(self) -> Optional["GpuGridRes"]:
         return self
-
-    def chain(self) -> List[ExecResource]:
-        return [self]
 
     def scheduled_block_dims(self) -> Tuple[DimName, ...]:
         return ()
@@ -209,24 +239,15 @@ class ForallRes(ExecResource):
     def base_grid(self) -> Optional[GpuGridRes]:
         return self.base.base_grid()
 
-    def chain(self) -> List[ExecResource]:
-        return self.base.chain() + [self]
-
     def over_blocks(self) -> bool:
         """Whether this sched step distributes blocks (vs threads)."""
         return bool(self.base.pending_block_dims())
 
     def scheduled_block_dims(self) -> Tuple[DimName, ...]:
-        inherited = self.base.scheduled_block_dims()
-        if self.over_blocks():
-            return inherited + self.dims
-        return inherited
+        return _forall_scheduled(self)[0]
 
     def scheduled_thread_dims(self) -> Tuple[DimName, ...]:
-        inherited = self.base.scheduled_thread_dims()
-        if not self.over_blocks():
-            return inherited + self.dims
-        return inherited
+        return _forall_scheduled(self)[1]
 
     def extents(self) -> Tuple[Nat, ...]:
         """The number of sub-resources along each scheduled dimension."""
@@ -252,9 +273,6 @@ class SplitRes(ExecResource):
 
     def base_grid(self) -> Optional[GpuGridRes]:
         return self.base.base_grid()
-
-    def chain(self) -> List[ExecResource]:
-        return self.base.chain() + [self]
 
     def scheduled_block_dims(self) -> Tuple[DimName, ...]:
         return self.base.scheduled_block_dims()

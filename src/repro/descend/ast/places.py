@@ -38,11 +38,7 @@ class PlaceExpr:
 
     def select_vars(self) -> Tuple[str, ...]:
         """Names of the execution variables used in selects, outside-in."""
-        names: List[str] = []
-        for part in self.parts():
-            if isinstance(part, PSelect):
-                names.append(part.exec_var)
-        return tuple(names)
+        return tuple(part.exec_var for part in self.parts() if isinstance(part, PSelect))
 
     def contains_deref(self) -> bool:
         return any(isinstance(part, PDeref) for part in self.parts())

@@ -156,9 +156,7 @@ def print_expr(term: T.Term) -> str:
 
 def print_block(block: T.Block, indent: int = 0) -> str:
     pad = "    " * indent
-    inner: List[str] = []
-    for stmt in block.stmts:
-        inner.append(print_term(stmt, indent + 1) + ";")
+    inner = [print_term(stmt, indent + 1) + ";" for stmt in block.stmts]
     if not inner:
         return f"{pad}{{ }}"
     body = "\n".join(inner)

@@ -6,86 +6,55 @@
 >>> kernel = compiled.kernel("transpose")          # launchable on the simulator
 >>> result = kernel.launch(device, {...})
 
+These functions are thin façades over the staged
+:class:`~repro.descend.driver.CompilerDriver`: every call goes through the
+process-wide :class:`~repro.descend.driver.CompileSession`, so repeated
+compiles of the same source text (or of structurally equal builder-API
+programs) hit the content-addressed pass cache instead of re-parsing and
+re-checking.  Pass an explicit session via :class:`CompilerDriver` for
+isolation, or use :func:`~repro.descend.driver.session_scope`.
+
 Programs built with :mod:`repro.descend.builder` go through
 :func:`compile_program` instead of :func:`compile_source`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
-
-import numpy as np
-
 from repro.descend.ast import terms as T
-from repro.descend.ast.printer import print_program
-from repro.descend.codegen import CudaModule, generate_cuda
-from repro.descend.frontend import parse_program
-from repro.descend.interp import DescendKernel, ExecutionResult, HostInterpreter
-from repro.descend.source import SourceFile
-from repro.descend.typeck import check_program
-from repro.descend.typeck.checker import CheckedProgram
-from repro.gpusim import GpuDevice
+from repro.descend.driver import (
+    CompiledProgram,
+    CompilerDriver,
+    CompileSession,
+    active_session,
+    session_scope,
+    set_active_session,
+)
 
+__all__ = [
+    "CompiledProgram",
+    "CompilerDriver",
+    "CompileSession",
+    "active_session",
+    "session_scope",
+    "set_active_session",
+    "compile_source",
+    "compile_program",
+    "compile_file",
+]
 
-@dataclass
-class CompiledProgram:
-    """A parsed and type-checked Descend program with its back-ends attached."""
-
-    program: T.Program
-    checked: CheckedProgram
-    source: Optional[SourceFile] = None
-
-    # -- code generation ------------------------------------------------------------
-    def to_cuda(self, nat_env: Optional[Dict[str, int]] = None) -> CudaModule:
-        """Translate the program to CUDA C++ source."""
-        return generate_cuda(self.program, nat_env)
-
-    def to_source(self) -> str:
-        """Pretty-print the program back to Descend surface syntax."""
-        return print_program(self.program)
-
-    # -- execution ---------------------------------------------------------------------
-    def kernel(self, name: str) -> DescendKernel:
-        """A launchable handle for one GPU function."""
-        return DescendKernel(self.program, name)
-
-    def run_host(
-        self,
-        fun_name: str,
-        args: Optional[Dict[str, object]] = None,
-        device: Optional[GpuDevice] = None,
-        nat_args: Optional[Dict[str, int]] = None,
-    ) -> ExecutionResult:
-        """Run a CPU (host) function, including the kernels it launches."""
-        interpreter = HostInterpreter(self.program, device)
-        return interpreter.run(fun_name, args, nat_args)
-
-    # -- introspection ------------------------------------------------------------------
-    @property
-    def function_names(self):
-        return tuple(f.name for f in self.program.fun_defs)
-
-    def gpu_function_names(self):
-        return tuple(f.name for f in self.program.gpu_functions())
+_DRIVER = CompilerDriver()  # bound to the active session at call time
 
 
 def compile_source(text: str, name: str = "<descend>") -> CompiledProgram:
-    """Parse and type check Descend source text."""
-    source = SourceFile(text, name)
-    program = parse_program(text, name)
-    checked = check_program(program, source)
-    return CompiledProgram(program=program, checked=checked, source=source)
+    """Parse and type check Descend source text (cached by content hash)."""
+    return _DRIVER.compile_source(text, name)
 
 
 def compile_program(program: T.Program) -> CompiledProgram:
-    """Type check a program built with the builder API."""
-    checked = check_program(program)
-    return CompiledProgram(program=program, checked=checked)
+    """Type check a program built with the builder API (cached by AST)."""
+    return _DRIVER.compile_program(program)
 
 
 def compile_file(path: str) -> CompiledProgram:
     """Parse and type check a ``.descend`` file."""
-    with open(path, "r", encoding="utf-8") as handle:
-        text = handle.read()
-    return compile_source(text, name=path)
+    return _DRIVER.compile_file(path)

@@ -132,8 +132,7 @@ def render_diagnostic(diagnostic: Diagnostic, source: Optional[SourceFile] = Non
         elif label.message:
             prefix = "  = primary: " if label.primary else "  = note: "
             lines.append(prefix + label.message)
-    for note in diagnostic.notes:
-        lines.append(f"  = note: {note}")
+    lines.extend(f"  = note: {note}" for note in diagnostic.notes)
     return "\n".join(lines)
 
 

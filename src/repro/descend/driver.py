@@ -1,0 +1,491 @@
+"""The staged compiler driver: explicit, cached, timed compilation passes.
+
+Compilation used to be a loose pile of one-shot functions — every consumer
+(CLI, benchsuite, interpreter, code generator) re-ran ``parse_program`` and
+``check_program`` from scratch, and every vectorized launch rebuilt its
+device plan.  This module turns "compile" into an architectural layer:
+
+* :class:`CompilerDriver` runs the pipeline as explicit passes
+
+  .. code-block:: text
+
+      source text ──parse──▶ AST ──typeck──▶ CheckedProgram
+                                                 │
+                             ┌───────────────────┼─────────────────────┐
+                         lower.plan          lower.cuda           lower.print
+                       (DevicePlan per    (CUDA C++ module)    (surface syntax)
+                        GPU function)
+
+  and reports each pass's wall-clock and diagnostics uniformly
+  (:class:`PassTiming`).
+
+* :class:`CompileSession` caches every pass artifact by *content hash*:
+  source units are keyed by ``sha256(text)``, builder-API programs by the
+  (frozen, hashable) AST itself.  Repeated compiles of the same program —
+  benchsuite sweeps, ``--scale`` runs, test suites, repeated ``kernel()``
+  launches — hit the cache instead of re-checking.  Failed compiles are
+  cached too, so cached diagnostics are byte-identical to cold ones.
+
+Every process has an *active* session (:func:`active_session`); consumers
+that want isolation (tests, cold-cache benchmarks) create their own
+``CompileSession`` and pass it to a driver, or scope one temporarily with
+:func:`session_scope`.
+
+The convenience façades ``compile_source`` / ``compile_program`` /
+``compile_file`` in :mod:`repro.descend.compiler` delegate here.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.descend.ast import terms as T
+from repro.descend.ast.printer import print_program
+from repro.descend.frontend import parse_program
+from repro.descend.source import SourceFile
+from repro.descend.typeck import check_program
+from repro.descend.typeck.checker import CheckedProgram
+from repro.errors import DescendError
+
+#: Canonical pass names, in pipeline order (lowerings are unordered siblings).
+PASS_PARSE = "parse"
+PASS_TYPECK = "typeck"
+PASS_LOWER_PLAN = "lower.plan"
+PASS_LOWER_CUDA = "lower.cuda"
+PASS_LOWER_PRINT = "lower.print"
+
+PASS_ORDER = (PASS_PARSE, PASS_TYPECK, PASS_LOWER_PLAN, PASS_LOWER_CUDA, PASS_LOWER_PRINT)
+
+
+@dataclass(frozen=True)
+class PassTiming:
+    """Wall-clock record of one pass over one compilation unit."""
+
+    unit: str
+    name: str
+    wall_s: float
+    cached: bool
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "unit": self.unit,
+            "pass": self.name,
+            "wall_s": self.wall_s,
+            "cached": self.cached,
+            "detail": self.detail,
+        }
+
+
+def _detach_failure(exc: DescendError) -> DescendError:
+    """An independent copy of a compile failure.
+
+    Cached failures are stored and re-raised as copies so that no two
+    consumers share one mutable exception: mutating a received diagnostic
+    (``with_note`` etc.) must not leak into future cached diagnostics, and
+    re-raising must not accumulate traceback frames on a shared instance.
+    """
+    clone = copy.copy(exc)
+    clone.diagnostic = copy.deepcopy(getattr(exc, "diagnostic", None))
+    clone.__traceback__ = None
+    return clone
+
+
+class CompileSession:
+    """A content-addressed cache of compilation passes.
+
+    One session is shared by every consumer that wants to reuse compiles:
+    the CLI shares a session across its sub-commands, the benchsuite across
+    a sweep, the interpreter across launches.  Keys are content hashes, so
+    an *edited* program (different text, different AST) misses the cache and
+    recompiles, while a byte-identical one hits.
+    """
+
+    #: Caps for the content-addressed stores and the timing log.  Sessions
+    #: are long-lived (the CLI and the façades share process-wide ones), so
+    #: every store evicts oldest-first past its cap instead of growing
+    #: without bound; an evicted program simply recompiles on the next ask.
+    MAX_UNITS = 1024
+    MAX_TIMINGS = 8192
+
+    def __init__(self, label: str = "session") -> None:
+        self.label = label
+        self._programs: Dict[object, "CompiledProgram"] = {}
+        self._failures: Dict[object, DescendError] = {}
+        self._plans: Dict[Tuple[object, str], Tuple[Optional[object], Optional[str]]] = {}
+        self._cuda: Dict[Tuple[object, Optional[Tuple[Tuple[str, int], ...]]], object] = {}
+        self._printed: Dict[object, str] = {}
+        self.timings: List[PassTiming] = []
+        self.hits = 0
+        self.misses = 0
+        self.plan_compiles = 0
+
+    def _store(self, cache: Dict, key: object, value: object) -> None:
+        """Insert with FIFO eviction (dicts preserve insertion order)."""
+        if key not in cache and len(cache) >= self.MAX_UNITS:
+            cache.pop(next(iter(cache)))
+        cache[key] = value
+
+    # -- keys ------------------------------------------------------------------
+    @staticmethod
+    def source_key(text: str, name: str = "<descend>") -> object:
+        """Content hash of a source unit (the file name participates because
+        it appears in rendered diagnostics)."""
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        return ("source", name, digest)
+
+    @staticmethod
+    def program_key(program: T.Program) -> Optional[object]:
+        """Content key of a builder-API program: the frozen AST itself.
+
+        Structurally equal programs (e.g. two calls of the same builder with
+        the same parameters) compare and hash equal, which makes the AST its
+        own content address.  Returns ``None`` for unhashable ASTs, which
+        are simply compiled uncached.
+        """
+        try:
+            hash(program)
+        except TypeError:
+            return None
+        return ("program", program)
+
+    # -- bookkeeping -----------------------------------------------------------
+    def record(self, timing: PassTiming) -> PassTiming:
+        if len(self.timings) >= self.MAX_TIMINGS:
+            del self.timings[: self.MAX_TIMINGS // 2]
+        self.timings.append(timing)
+        if timing.cached:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return timing
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "programs": len(self._programs),
+            "failures": len(self._failures),
+            "plans": len(self._plans),
+            "plan_compiles": self.plan_compiles,
+            "cuda_modules": len(self._cuda),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> None:
+        self._programs.clear()
+        self._failures.clear()
+        self._plans.clear()
+        self._cuda.clear()
+        self._printed.clear()
+        self.timings.clear()
+        self.hits = 0
+        self.misses = 0
+        self.plan_compiles = 0
+
+    def timings_table(self) -> str:
+        """Human-readable pass breakdown (the CLI's ``--timings`` output)."""
+        if not self.timings:
+            return "no passes recorded"
+        header = f"{'unit':<28} {'pass':<12} {'wall':>10}  cached"
+        lines = [header, "-" * len(header)]
+        lines.extend(
+            f"{timing.unit:<28} {timing.name:<12} {timing.wall_s * 1e3:>8.2f}ms"
+            f"  {'yes' if timing.cached else 'no'}"
+            for timing in self.timings
+        )
+        totals: Dict[str, float] = {}
+        for timing in self.timings:
+            totals[timing.name] = totals.get(timing.name, 0.0) + timing.wall_s
+        summary = ", ".join(
+            f"{name} {totals[name] * 1e3:.2f}ms" for name in PASS_ORDER if name in totals
+        )
+        lines.append("-" * len(header))
+        lines.append(f"total per pass: {summary}  (cache hits {self.hits}, misses {self.misses})")
+        return "\n".join(lines)
+
+    # -- cached lowerings --------------------------------------------------------
+    def device_plan(
+        self,
+        program: T.Program,
+        fun_name: str,
+        key: Optional[object] = None,
+        unit: str = "<program>",
+    ):
+        """The (cached) device plan of one GPU function.
+
+        Returns ``(plan, fallback_reason)``: exactly one of the two is not
+        ``None``.  Failures (:class:`~repro.descend.interp.vectorize.PlanUnsupported`)
+        are cached as well, so repeated launches of an un-lowerable kernel do
+        not retry the lowering every time.
+        """
+        from repro.descend.interp.vectorize import PlanUnsupported, device_plan
+
+        start = time.perf_counter()
+        if key is None:
+            key = self.program_key(program)
+        entry_key = (key, fun_name)
+        if key is not None and entry_key in self._plans:
+            self.record(
+                PassTiming(unit, PASS_LOWER_PLAN, time.perf_counter() - start, True, fun_name)
+            )
+            return self._plans[entry_key]
+        try:
+            plan = device_plan(program.fun(fun_name))
+            entry: Tuple[Optional[object], Optional[str]] = (plan, None)
+        except PlanUnsupported as exc:
+            entry = (None, str(exc))
+        self.plan_compiles += 1
+        self.record(
+            PassTiming(unit, PASS_LOWER_PLAN, time.perf_counter() - start, False, fun_name)
+        )
+        if key is not None:
+            self._store(self._plans, entry_key, entry)
+        return entry
+
+    def cuda_module(
+        self,
+        program: T.Program,
+        nat_env: Optional[Dict[str, int]] = None,
+        key: Optional[object] = None,
+        unit: str = "<program>",
+    ):
+        """The (cached) CUDA C++ translation of a program."""
+        from repro.descend.codegen import generate_cuda
+
+        start = time.perf_counter()
+        if key is None:
+            key = self.program_key(program)
+        env_key = tuple(sorted(nat_env.items())) if nat_env else None
+        entry_key = (key, env_key)
+        if key is not None and entry_key in self._cuda:
+            self.record(PassTiming(unit, PASS_LOWER_CUDA, time.perf_counter() - start, True))
+            return self._cuda[entry_key]
+        module = generate_cuda(program, nat_env)
+        self.record(PassTiming(unit, PASS_LOWER_CUDA, time.perf_counter() - start, False))
+        if key is not None:
+            self._store(self._cuda, entry_key, module)
+        return module
+
+    def printed_source(
+        self, program: T.Program, key: Optional[object] = None, unit: str = "<program>"
+    ) -> str:
+        """The (cached) pretty-printed surface syntax of a program."""
+        start = time.perf_counter()
+        if key is None:
+            key = self.program_key(program)
+        if key is not None and key in self._printed:
+            self.record(PassTiming(unit, PASS_LOWER_PRINT, time.perf_counter() - start, True))
+            return self._printed[key]
+        text = print_program(program)
+        self.record(PassTiming(unit, PASS_LOWER_PRINT, time.perf_counter() - start, False))
+        if key is not None:
+            self._store(self._printed, key, text)
+        return text
+
+
+@dataclass
+class CompiledProgram:
+    """A parsed and type-checked Descend program with its back-ends attached.
+
+    Produced by :class:`CompilerDriver` (or the façades in
+    :mod:`repro.descend.compiler`).  All lowerings route through the
+    session's content-addressed caches, so e.g. two ``kernel()`` handles of
+    the same program share one device plan.
+    """
+
+    program: T.Program
+    checked: CheckedProgram
+    source: Optional[SourceFile] = None
+    unit: str = "<program>"
+    key: Optional[object] = None
+    session: Optional[CompileSession] = None
+
+    def cache_key(self) -> Optional[object]:
+        if self.key is not None:
+            return self.key
+        self.key = CompileSession.program_key(self.program)
+        return self.key
+
+    def _session(self) -> CompileSession:
+        return self.session if self.session is not None else active_session()
+
+    # -- code generation ------------------------------------------------------------
+    def to_cuda(self, nat_env: Optional[Dict[str, int]] = None):
+        """Translate the program to CUDA C++ source (cached per nat env)."""
+        return self._session().cuda_module(self.program, nat_env, self.cache_key(), self.unit)
+
+    def to_source(self) -> str:
+        """Pretty-print the program back to Descend surface syntax (cached)."""
+        return self._session().printed_source(self.program, self.cache_key(), self.unit)
+
+    # -- execution ---------------------------------------------------------------------
+    def kernel(self, name: str):
+        """A launchable handle for one GPU function (device plans cached)."""
+        from repro.descend.interp.device import DescendKernel
+
+        return DescendKernel(self.program, name, session=self._session(), compiled=self)
+
+    def device_plan(self, name: str):
+        """The vectorized device plan for one GPU function (or its fallback reason)."""
+        return self._session().device_plan(self.program, name, self.cache_key(), self.unit)
+
+    def run_host(
+        self,
+        fun_name: str,
+        args: Optional[Dict[str, object]] = None,
+        device=None,
+        nat_args: Optional[Dict[str, int]] = None,
+    ):
+        """Run a CPU (host) function, including the kernels it launches."""
+        from repro.descend.interp.host import HostInterpreter
+
+        interpreter = HostInterpreter(self.program, device, compiled=self)
+        return interpreter.run(fun_name, args, nat_args)
+
+    # -- introspection ------------------------------------------------------------------
+    @property
+    def function_names(self):
+        return tuple(f.name for f in self.program.fun_defs)
+
+    def gpu_function_names(self):
+        return tuple(f.name for f in self.program.gpu_functions())
+
+
+class CompilerDriver:
+    """Runs the staged pipeline against one :class:`CompileSession`."""
+
+    def __init__(self, session: Optional[CompileSession] = None) -> None:
+        self._session = session
+
+    @property
+    def session(self) -> CompileSession:
+        return self._session if self._session is not None else active_session()
+
+    # -- entry points -----------------------------------------------------------
+    def compile_source(self, text: str, name: str = "<descend>") -> CompiledProgram:
+        """Parse and type check Descend source text (cached by content hash)."""
+        session = self.session
+        start = time.perf_counter()
+        key = session.source_key(text, name)
+        cached = self._lookup(session, key, name, PASS_PARSE, start)
+        if cached is not None:
+            return cached
+
+        source = SourceFile(text, name)
+        start = time.perf_counter()
+        try:
+            program = parse_program(text, name)
+        except DescendError as exc:
+            session.record(PassTiming(name, PASS_PARSE, time.perf_counter() - start, False))
+            session._store(session._failures, key, _detach_failure(exc))
+            raise
+        session.record(PassTiming(name, PASS_PARSE, time.perf_counter() - start, False))
+        return self._typecheck(session, program, source, key, name)
+
+    def compile_program(self, program: T.Program) -> CompiledProgram:
+        """Type check a program built with the builder API (cached by AST)."""
+        session = self.session
+        start = time.perf_counter()
+        key = session.program_key(program)
+        unit = self._unit_label(program)
+        if key is not None:
+            cached = self._lookup(session, key, unit, PASS_TYPECK, start)
+            if cached is not None:
+                return cached
+        return self._typecheck(session, program, None, key, unit)
+
+    def compile_file(self, path: str) -> CompiledProgram:
+        """Parse and type check a ``.descend`` file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        return self.compile_source(text, name=path)
+
+    # -- passes ------------------------------------------------------------------
+    def _lookup(
+        self,
+        session: CompileSession,
+        key: object,
+        unit: str,
+        pass_name: str,
+        start: float,
+    ) -> Optional[CompiledProgram]:
+        if key in session._failures:
+            session.record(
+                PassTiming(unit, pass_name, time.perf_counter() - start, True, "failure")
+            )
+            raise _detach_failure(session._failures[key])
+        compiled = session._programs.get(key)
+        if compiled is not None:
+            session.record(PassTiming(unit, pass_name, time.perf_counter() - start, True))
+        return compiled
+
+    def _typecheck(
+        self,
+        session: CompileSession,
+        program: T.Program,
+        source: Optional[SourceFile],
+        key: Optional[object],
+        unit: str,
+    ) -> CompiledProgram:
+        start = time.perf_counter()
+        try:
+            checked = check_program(program, source)
+        except DescendError as exc:
+            session.record(PassTiming(unit, PASS_TYPECK, time.perf_counter() - start, False))
+            if key is not None:
+                session._store(session._failures, key, _detach_failure(exc))
+            raise
+        session.record(PassTiming(unit, PASS_TYPECK, time.perf_counter() - start, False))
+        compiled = CompiledProgram(
+            program=program,
+            checked=checked,
+            source=source,
+            unit=unit,
+            key=key,
+            session=session,
+        )
+        if key is not None:
+            session._store(session._programs, key, compiled)
+        return compiled
+
+    @staticmethod
+    def _unit_label(program: T.Program) -> str:
+        names = [f.name for f in program.fun_defs]
+        return names[0] if names else "<empty>"
+
+
+# ---------------------------------------------------------------------------
+# The process-wide active session
+# ---------------------------------------------------------------------------
+
+_ACTIVE_SESSION = CompileSession(label="default")
+
+
+def active_session() -> CompileSession:
+    """The session shared by consumers that do not bring their own."""
+    return _ACTIVE_SESSION
+
+
+def set_active_session(session: CompileSession) -> CompileSession:
+    """Replace the process-wide session; returns the previous one."""
+    global _ACTIVE_SESSION
+    previous = _ACTIVE_SESSION
+    _ACTIVE_SESSION = session
+    return previous
+
+
+@contextmanager
+def session_scope(session: Optional[CompileSession] = None):
+    """Temporarily install ``session`` (or a fresh one) as the active session."""
+    scoped = session if session is not None else CompileSession(label="scoped")
+    previous = set_active_session(scoped)
+    try:
+        yield scoped
+    finally:
+        set_active_session(previous)

@@ -377,18 +377,50 @@ class DescendKernel:
     batched numpy operations; functions the plan compiler cannot lower fall
     back to this per-thread reference interpreter automatically
     (:attr:`fallback_reason` records why).
+
+    Device plans are cached in a :class:`~repro.descend.driver.CompileSession`
+    keyed by content hash (and additionally memoized on the kernel handle),
+    so repeated launches — even from freshly constructed handles for the
+    same program — reuse one plan instead of re-lowering per launch.
     """
 
-    def __init__(self, program: T.Program, fun_name: str) -> None:
+    def __init__(
+        self,
+        program: T.Program,
+        fun_name: str,
+        session=None,
+        compiled=None,
+    ) -> None:
         self.program = program
         self.fun_def = program.fun(fun_name)
         level = self.fun_def.exec_spec.level
         if not isinstance(level, GpuGridLevel):
             raise DescendRuntimeError(f"`{fun_name}` is not a GPU grid function")
         self.level = level
+        #: session whose plan cache this kernel uses (``None`` = the active one)
+        self.session = session
+        self._compiled = compiled
+        self._plan_entry: Optional[Tuple[Optional[object], Optional[str]]] = None
         #: why the last vectorized launch fell back to the reference engine
         #: (``None`` when it did not).
         self.fallback_reason: Optional[str] = None
+
+    def _resolve_plan(self) -> Tuple[Optional[object], Optional[str]]:
+        """The cached ``(plan, fallback_reason)`` pair for this function."""
+        if self._plan_entry is None:
+            from repro.descend.driver import active_session
+
+            session = self.session if self.session is not None else active_session()
+            if self._compiled is not None:
+                key = self._compiled.cache_key()
+                unit = self._compiled.unit
+            else:
+                key = None
+                unit = self.fun_def.name
+            self._plan_entry = session.device_plan(
+                self.program, self.fun_def.name, key=key, unit=unit
+            )
+        return self._plan_entry
 
     # -- launch configuration ------------------------------------------------------------
     def grid_dim(self, nat_env: Optional[Dict[str, int]] = None) -> Tuple[int, int, int]:
@@ -434,13 +466,11 @@ class DescendKernel:
         mode = execution_mode if execution_mode is not None else device.execution_mode
         self.fallback_reason = None
         if mode == "vectorized":
-            from repro.descend.interp.vectorize import PlanUnsupported, device_plan
             from repro.gpusim.engine import vectorized_impl
 
-            try:
-                plan = device_plan(fun_def)
-            except PlanUnsupported as exc:
-                self.fallback_reason = str(exc)
+            plan, reason = self._resolve_plan()
+            if plan is None:
+                self.fallback_reason = reason
                 mode = "reference"
             else:
                 vectorized_impl(kernel)(plan.entry(nat_env, arg_values))

@@ -64,10 +64,26 @@ class HostInterpreter:
         program: T.Program,
         device: Optional[GpuDevice] = None,
         execution_mode: Optional[str] = None,
+        compiled=None,
     ) -> None:
         self.program = program
         self.device = device if device is not None else GpuDevice()
         self.execution_mode = execution_mode
+        self._compiled = compiled
+        # One kernel handle per GPU function: repeated launches (e.g. inside
+        # a `for`-nat loop) reuse the handle's cached device plan instead of
+        # re-lowering per launch.
+        self._kernels: Dict[str, DescendKernel] = {}
+
+    def _kernel(self, name: str) -> DescendKernel:
+        kernel = self._kernels.get(name)
+        if kernel is None:
+            if self._compiled is not None:
+                kernel = self._compiled.kernel(name)
+            else:
+                kernel = DescendKernel(self.program, name)
+            self._kernels[name] = kernel
+        return kernel
 
     # -- public API ------------------------------------------------------------------
     def run(
@@ -219,7 +235,7 @@ class HostInterpreter:
         return None
 
     def _eval_launch(self, term: T.KernelLaunch, env, nat_env, result) -> Value:
-        kernel = DescendKernel(self.program, term.name)
+        kernel = self._kernel(term.name)
         callee = self.program.fun(term.name)
         nat_names = [g.name for g in callee.generics]
         launch_nats = {

@@ -53,9 +53,7 @@ class SourceFile:
     @staticmethod
     def _compute_line_starts(text: str) -> List[int]:
         starts = [0]
-        for index, char in enumerate(text):
-            if char == "\n":
-                starts.append(index + 1)
+        starts.extend(index + 1 for index, char in enumerate(text) if char == "\n")
         return starts
 
     def span(self, start: int, end: int) -> Span:

@@ -17,13 +17,27 @@ The package implements the typing judgement of Section 4:
   whole programs.
 """
 
+from repro.descend.ast.exec_resources import clear_exec_caches
 from repro.descend.typeck.checker import TypeChecker, check_program
 from repro.descend.typeck.context import AccessEnv, AccessRecord, Loan, TypingContext, VarInfo
+from repro.descend.typeck.overlap import clear_overlap_cache
 from repro.descend.typeck.place_typing import PlaceInfo, type_place
+
+
+def clear_typeck_caches() -> None:
+    """Drop the type checker's memoization caches.
+
+    Used by the compile-time benchmark to measure genuinely cold compiles;
+    the caches are pure memoization, so clearing never changes results.
+    """
+    clear_overlap_cache()
+    clear_exec_caches()
+
 
 __all__ = [
     "TypeChecker",
     "check_program",
+    "clear_typeck_caches",
     "TypingContext",
     "VarInfo",
     "AccessEnv",

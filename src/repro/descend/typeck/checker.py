@@ -552,8 +552,8 @@ class TypeChecker:
         )
         previous_exec = ctx.current_exec
         previous_binder = ctx.current_exec_binder
-        ctx.sched_stack.append(frame)
-        ctx.bind_exec(term.binder, new_res)
+        ctx.push_sched_frame(frame)
+        shadowed = ctx.bind_exec(term.binder, new_res)
         ctx.current_exec = new_res
         ctx.current_exec_binder = term.binder
         try:
@@ -561,8 +561,8 @@ class TypeChecker:
         finally:
             ctx.current_exec = previous_exec
             ctx.current_exec_binder = previous_binder
-            ctx.unbind_exec(term.binder)
-            ctx.sched_stack.pop()
+            ctx.unbind_exec(term.binder, shadowed)
+            ctx.pop_sched_frame()
         return UNIT
 
     def _check_split(self, ctx: TypingContext, term: T.SplitExec) -> DataType:
@@ -616,7 +616,7 @@ class TypeChecker:
         ):
             previous_exec = ctx.current_exec
             previous_binder = ctx.current_exec_binder
-            ctx.bind_exec(binder, res)
+            shadowed = ctx.bind_exec(binder, res)
             ctx.current_exec = res
             ctx.current_exec_binder = binder
             try:
@@ -624,7 +624,7 @@ class TypeChecker:
             finally:
                 ctx.current_exec = previous_exec
                 ctx.current_exec_binder = previous_binder
-                ctx.unbind_exec(binder)
+                ctx.unbind_exec(binder, shadowed)
         return UNIT
 
     def _check_sync(self, ctx: TypingContext, term: T.Sync) -> DataType:

@@ -206,20 +206,32 @@ class AccessRecord:
 
 
 class AccessEnv:
-    """The access mapping environment A of the typing judgement."""
+    """The access mapping environment A of the typing judgement.
+
+    Records are additionally indexed by their root variable: the conflict
+    check only ever compares accesses of the same root, and scanning the
+    whole record list per access made the check quadratic in function size.
+    """
 
     def __init__(self) -> None:
         self._records: List[AccessRecord] = []
+        self._by_root: Dict[str, List[AccessRecord]] = {}
 
     def record(self, record: AccessRecord) -> AccessRecord:
         self._records.append(record)
+        self._by_root.setdefault(record.root, []).append(record)
         return record
 
     def records(self) -> Tuple[AccessRecord, ...]:
         return tuple(self._records)
 
     def records_for_root(self, root: str) -> List[AccessRecord]:
-        return [record for record in self._records if record.root == root]
+        return self._by_root.get(root, [])
+
+    def _reindex(self) -> None:
+        self._by_root = {}
+        for record in self._records:
+            self._by_root.setdefault(record.root, []).append(record)
 
     def clear_for_sync(self) -> int:
         """Remove accesses made by execution resources inside a block.
@@ -234,6 +246,7 @@ class AccessEnv:
             for record in self._records
             if not record.exec_res.blocks_fully_scheduled()
         ]
+        self._reindex()
         return before - len(self._records)
 
     def snapshot(self) -> List[AccessRecord]:
@@ -241,6 +254,7 @@ class AccessEnv:
 
     def restore(self, snapshot: List[AccessRecord]) -> None:
         self._records = list(snapshot)
+        self._reindex()
 
     def __len__(self) -> int:
         return len(self._records)
@@ -294,6 +308,11 @@ class TypingContext:
         self.current_exec_binder: str = exec_spec.name
         #: stack of sched frames, outermost first
         self.sched_stack: List[SchedFrame] = []
+        #: binder -> innermost frame with that binder (O(1) frame lookups for
+        #: the select check, instead of scanning the sched stack per place)
+        self._frame_index: Dict[str, SchedFrame] = {}
+        #: shadowed frames, parallel to ``sched_stack`` (restored on pop)
+        self._frame_shadow: List[Optional[SchedFrame]] = []
         #: set when typing the body of a loop a second time (cross-iteration pass)
         self.loop_recheck: bool = False
 
@@ -307,20 +326,41 @@ class TypingContext:
         return [frame for frame in self.sched_stack if frame.depth > depth]
 
     # -- exec binders -----------------------------------------------------------------
-    def bind_exec(self, name: str, resource: ExecResource) -> None:
+    def bind_exec(self, name: str, resource: ExecResource) -> Optional[ExecResource]:
+        """Bind a binder name (innermost wins); returns the shadowed binding."""
+        shadowed = self.exec_binders.get(name)
         self.exec_binders[name] = resource
+        return shadowed
 
-    def unbind_exec(self, name: str) -> None:
-        self.exec_binders.pop(name, None)
+    def unbind_exec(self, name: str, shadowed: Optional[ExecResource] = None) -> None:
+        """Undo a ``bind_exec``, restoring the binding it shadowed (if any)."""
+        if shadowed is None:
+            self.exec_binders.pop(name, None)
+        else:
+            self.exec_binders[name] = shadowed
 
     def exec_of(self, name: str) -> Optional[ExecResource]:
         return self.exec_binders.get(name)
 
+    # -- sched frames -----------------------------------------------------------------
+    def push_sched_frame(self, frame: SchedFrame) -> None:
+        self.sched_stack.append(frame)
+        self._frame_shadow.append(self._frame_index.get(frame.binder))
+        self._frame_index[frame.binder] = frame
+
+    def pop_sched_frame(self) -> SchedFrame:
+        frame = self.sched_stack.pop()
+        shadowed = self._frame_shadow.pop()
+        if shadowed is None:
+            self._frame_index.pop(frame.binder, None)
+        else:
+            self._frame_index[frame.binder] = shadowed
+        return frame
+
     def frame_of_binder(self, binder: str) -> Optional[SchedFrame]:
-        for frame in self.sched_stack:
-            if frame.binder == binder:
-                return frame
-        return None
+        # Innermost frame wins for shadowed binder names, consistent with
+        # `exec_binders` (bind_exec overwrites) resolving selects innermost.
+        return self._frame_index.get(binder)
 
     # -- errors ----------------------------------------------------------------------
     def error(self, diagnostic: Diagnostic) -> DescendTypeError:

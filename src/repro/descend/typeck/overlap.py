@@ -23,6 +23,7 @@ That case is handled by the access-conflict check, not here.
 from __future__ import annotations
 
 import enum
+from functools import lru_cache
 from typing import List, Optional, Tuple
 
 from repro.descend.ast.places import (
@@ -86,7 +87,30 @@ def _steps_disjoint(a: PlaceExpr, b: PlaceExpr, previous_was_split: bool) -> boo
 
 
 def compare_places(a: PlaceExpr, b: PlaceExpr) -> Overlap:
-    """Compare two place expressions syntactically."""
+    """Compare two place expressions syntactically.
+
+    The comparison is pure and place expressions are immutable value
+    objects, so results are memoized: the access-conflict check compares
+    every new access against all recorded ones, which revisits the same
+    handful of place pairs throughout a function body.
+    """
+    try:
+        return _compare_places_cached(a, b)
+    except TypeError:  # an unhashable index term; compare uncached
+        return _compare_places_impl(a, b)
+
+
+@lru_cache(maxsize=65536)
+def _compare_places_cached(a: PlaceExpr, b: PlaceExpr) -> Overlap:
+    return _compare_places_impl(a, b)
+
+
+def clear_overlap_cache() -> None:
+    """Drop the memoized place comparisons (cold-cache benchmarking)."""
+    _compare_places_cached.cache_clear()
+
+
+def _compare_places_impl(a: PlaceExpr, b: PlaceExpr) -> Overlap:
     parts_a = _normalized_parts(a)
     parts_b = _normalized_parts(b)
 

@@ -114,3 +114,46 @@ def test_bench_descend_writes_report(tmp_path, capsys):
     assert payload["all_cycles_match"] is True
     assert payload["workloads"][0]["variant"] == "descend"
     assert payload["workloads"][0]["speedup"] > 1.0
+
+
+def test_check_timings_prints_pass_breakdown(good_file, capsys):
+    assert main(["check", good_file, "--timings"]) == 0
+    captured = capsys.readouterr()
+    assert "type checks" in captured.out
+    assert "pass timings" in captured.err
+    assert "parse" in captured.err and "typeck" in captured.err
+
+
+def test_repeated_check_hits_the_shared_session(good_file, capsys):
+    assert main(["check", good_file]) == 0
+    assert main(["check", good_file, "--timings"]) == 0
+    # The CLI session is shared across invocations of main() in one process,
+    # so the second check is a cache hit: the table lists the first check's
+    # cold parse row (`no`) and the second one's cached row (`yes`) last.
+    err = capsys.readouterr().err
+    # The table lists every pass of the process-wide session; restrict to
+    # this test's (unique) file path.
+    parse_rows = [line for line in err.splitlines() if good_file in line and " parse " in line]
+    assert len(parse_rows) == 2
+    assert parse_rows[0].rstrip().endswith("no")
+    assert parse_rows[-1].rstrip().endswith("yes")
+
+
+def test_bench_compile_rejects_workload_flags(capsys):
+    assert main(["bench", "--compile", "--benchmarks", "matmul"]) == 2
+    assert "--compile" in capsys.readouterr().err
+
+
+def test_bench_compile_writes_report(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "BENCH_compile_cli.json"
+    assert main(["bench", "--compile", "--quick", "--output", str(out_path)]) == 0
+    assert "speedup" in capsys.readouterr().out
+    payload = json.loads(out_path.read_text())
+    assert payload["kind"] == "compile-time-bench"
+    assert payload["geometric_mean_speedup"] > 2.0
+    programs = {row["program"] for row in payload["programs"]}
+    assert programs == {"scale_vec", "reduce", "transpose", "scan", "matmul"}
+    for row in payload["programs"]:
+        assert row["cold_total_s"] > row["cached_total_s"]

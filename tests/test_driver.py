@@ -1,0 +1,265 @@
+"""Tests for the staged compiler driver and its content-addressed session cache."""
+
+import numpy as np
+import pytest
+
+from repro.benchsuite.compilebench import run_compile_bench
+from repro.descend.driver import (
+    PASS_PARSE,
+    PASS_TYPECK,
+    CompilerDriver,
+    CompileSession,
+    active_session,
+    session_scope,
+)
+from repro.descend_programs import reduce, vector
+from repro.errors import DescendSyntaxError, DescendTypeError
+from repro.gpusim import GpuDevice
+
+DOUBLER = """
+fn doubler(vec: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            vec.group::<32>[[block]][[thread]] =
+                vec.group::<32>[[block]][[thread]] * 2.0
+        }
+    }
+}
+"""
+
+# Every thread writes the same element: rejected by the narrowing check.
+RACY = """
+fn racy(vec: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            vec[0] = 1.0
+        }
+    }
+}
+"""
+
+
+class TestSessionCache:
+    def test_repeated_source_compile_hits_cache(self):
+        session = CompileSession()
+        driver = CompilerDriver(session)
+        first = driver.compile_source(DOUBLER, name="doubler.descend")
+        assert session.stats()["hits"] == 0
+        second = driver.compile_source(DOUBLER, name="doubler.descend")
+        assert second is first
+        assert session.stats()["hits"] == 1
+
+    def test_edited_source_recompiles(self):
+        session = CompileSession()
+        driver = CompilerDriver(session)
+        first = driver.compile_source(DOUBLER, name="doubler.descend")
+        edited = DOUBLER.replace("* 2.0", "* 3.0")
+        second = driver.compile_source(edited, name="doubler.descend")
+        assert second is not first
+        assert session.stats()["hits"] == 0
+        assert session.stats()["programs"] == 2
+
+    def test_builder_program_cached_across_rebuilds(self):
+        session = CompileSession()
+        driver = CompilerDriver(session)
+        first = driver.compile_program(reduce.build_reduce_program(n=256, block_size=32))
+        second = driver.compile_program(reduce.build_reduce_program(n=256, block_size=32))
+        assert second is first
+        third = driver.compile_program(reduce.build_reduce_program(n=512, block_size=32))
+        assert third is not first
+
+    def test_pass_timings_recorded(self):
+        session = CompileSession()
+        driver = CompilerDriver(session)
+        driver.compile_source(DOUBLER, name="doubler.descend")
+        names = [t.name for t in session.timings]
+        assert names == [PASS_PARSE, PASS_TYPECK]
+        assert all(not t.cached for t in session.timings)
+        driver.compile_source(DOUBLER, name="doubler.descend")
+        assert session.timings[-1].cached
+
+    def test_lowerings_cached(self):
+        session = CompileSession()
+        driver = CompilerDriver(session)
+        compiled = driver.compile_source(DOUBLER, name="doubler.descend")
+        assert compiled.to_cuda() is compiled.to_cuda()
+        assert compiled.to_source() == compiled.to_source()
+        plan, reason = compiled.device_plan("doubler")
+        assert reason is None
+        assert compiled.device_plan("doubler")[0] is plan
+        assert session.plan_compiles == 1
+
+    def test_diagnostics_identical_cold_vs_cached(self):
+        session = CompileSession()
+        driver = CompilerDriver(session)
+        with pytest.raises(DescendTypeError) as cold:
+            driver.compile_source(RACY, name="racy.descend")
+        with pytest.raises(DescendTypeError) as cached:
+            driver.compile_source(RACY, name="racy.descend")
+        with pytest.raises(DescendTypeError) as fresh:
+            CompilerDriver(CompileSession()).compile_source(RACY, name="racy.descend")
+        rendered_cold = cold.value.diagnostic.render()
+        assert cached.value.diagnostic.render() == rendered_cold
+        assert fresh.value.diagnostic.render() == rendered_cold
+        # The cached failure must not be recorded as a successful program.
+        assert session.stats()["programs"] == 0
+        assert session.stats()["failures"] == 1
+
+    def test_syntax_failures_cached_with_identical_diagnostics(self):
+        session = CompileSession()
+        driver = CompilerDriver(session)
+        with pytest.raises(DescendSyntaxError) as cold:
+            driver.compile_source("fn oops(", name="oops.descend")
+        with pytest.raises(DescendSyntaxError) as cached:
+            driver.compile_source("fn oops(", name="oops.descend")
+        assert session.stats()["failures"] == 1
+        assert str(cached.value) == str(cold.value)
+
+    def test_cached_failures_are_detached_copies(self):
+        session = CompileSession()
+        driver = CompilerDriver(session)
+        with pytest.raises(DescendTypeError) as first:
+            driver.compile_source(RACY, name="racy.descend")
+        # Mutating a received diagnostic must not leak into future cached ones.
+        first.value.diagnostic.with_note("caller-local note")
+        with pytest.raises(DescendTypeError) as second:
+            driver.compile_source(RACY, name="racy.descend")
+        assert second.value is not first.value
+        assert "caller-local note" not in second.value.diagnostic.render()
+
+    def test_session_stores_are_bounded(self):
+        session = CompileSession()
+        session.MAX_UNITS = 4
+        driver = CompilerDriver(session)
+        for n in (32, 64, 128, 256, 512, 1024):
+            driver.compile_program(vector.build_scale_program(n=n, block_size=32))
+        assert session.stats()["programs"] == 4
+
+    def test_session_scope_isolates_active_session(self):
+        outer = active_session()
+        with session_scope() as scoped:
+            assert active_session() is scoped
+            assert scoped is not outer
+        assert active_session() is outer
+
+
+class TestPlanReuse:
+    def test_repeated_launches_compile_one_plan(self):
+        """Regression: launches used to rebuild the device plan every time."""
+        with session_scope() as session:
+            compiled = CompilerDriver(session).compile_source(DOUBLER, name="doubler.descend")
+            device = GpuDevice(execution_mode="vectorized")
+            kernel = compiled.kernel("doubler")
+            data = np.arange(64, dtype=np.float64)
+            buf = device.to_device(data)
+            kernel.launch(device, {"vec": buf})
+            kernel.launch(device, {"vec": buf})
+            assert session.plan_compiles == 1
+            # A *fresh* handle for the same program also reuses the plan.
+            compiled.kernel("doubler").launch(device, {"vec": buf})
+            assert session.plan_compiles == 1
+            assert np.allclose(device.to_host(buf), data * 8)
+
+    def test_raw_kernel_handles_share_the_session_plan(self):
+        """DescendKernel built from a bare program (no driver) is cached too."""
+        from repro.descend.interp import DescendKernel
+
+        with session_scope() as session:
+            program = vector.build_scale_program(n=64, block_size=32)
+            device = GpuDevice(execution_mode="vectorized")
+            for _ in range(3):
+                buf = device.to_device(np.ones(64))
+                DescendKernel(program, "scale_vec").launch(device, {"vec": buf})
+            assert session.plan_compiles == 1
+
+    def test_host_interpreter_reuses_kernel_handles(self):
+        with session_scope() as session:
+            compiled = CompilerDriver(session).compile_program(
+                vector.build_scale_program(n=64, block_size=32)
+            )
+            device = GpuDevice(execution_mode="vectorized")
+            result = compiled.run_host("host_scale", {"h_vec": np.ones(64)}, device=device)
+            assert np.allclose(result.array("h_vec"), 3.0)
+            assert session.plan_compiles == 1
+
+    def test_unsupported_plan_cached_with_reason(self):
+        from repro.descend.builder import (
+            F64,
+            GPU_GLOBAL,
+            array,
+            assign,
+            block,
+            body,
+            dim_x,
+            fun,
+            gpu_grid_spec,
+            if_,
+            lit_bool,
+            param,
+            program,
+            read,
+            sched,
+            sync,
+            uniq_ref,
+            var,
+        )
+
+        elem = var("vec").view("group", 32).select("block").select("thread")
+        kernel_def = fun(
+            "guarded_sync",
+            [param("vec", uniq_ref(GPU_GLOBAL, array(F64, 64)))],
+            gpu_grid_spec("grid", dim_x(2), dim_x(32)),
+            body(
+                sched(
+                    "X",
+                    "block",
+                    "grid",
+                    sched(
+                        "X",
+                        "thread",
+                        "block",
+                        if_(lit_bool(True), block(sync())),
+                        assign(elem, read(elem)),
+                    ),
+                )
+            ),
+        )
+        with session_scope() as session:
+            compiled = CompilerDriver(session).compile_program(program(kernel_def))
+            device = GpuDevice(execution_mode="vectorized")
+            for _ in range(2):
+                kernel = compiled.kernel("guarded_sync")
+                launch = kernel.launch(device, {"vec": device.to_device(np.ones(64))})
+                assert launch.execution_mode == "reference"
+                assert kernel.fallback_reason is not None
+            # The PlanUnsupported outcome is cached: one lowering attempt total.
+            assert session.plan_compiles == 1
+
+
+class TestParityThroughDriver:
+    def test_reference_and_vectorized_agree_through_driver(self):
+        with session_scope() as session:
+            compiled = CompilerDriver(session).compile_source(DOUBLER, name="doubler.descend")
+            data = np.arange(64, dtype=np.float64)
+            results = {}
+            for mode in ("reference", "vectorized"):
+                device = GpuDevice(execution_mode=mode)
+                buf = device.to_device(data)
+                launch = compiled.kernel("doubler").launch(device, {"vec": buf})
+                results[mode] = (launch.cycles, len(launch.races), device.to_host(buf))
+            ref, vec = results["reference"], results["vectorized"]
+            assert ref[0] == vec[0]  # identical simulated cycles
+            assert ref[1] == vec[1] == 0  # no races on either engine
+            assert np.allclose(ref[2], vec[2])
+            assert np.allclose(vec[2], data * 2)
+
+
+class TestCompileBench:
+    def test_compile_bench_speedup_and_digests(self):
+        result = run_compile_bench(programs=("scale_vec", "reduce"), repeats=1)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row.cold_total_s > 0
+            assert row.speedup > 2.0
+            assert row.diagnostics_digest and row.cuda_digest
+        assert result.geometric_mean_speedup > 2.0

@@ -182,8 +182,10 @@ def bench_program(name: str, repeats: int = 3) -> CompileBenchRow:
     """Benchmark cold and cached compiles of one Figure 8 program.
 
     ``repeats`` takes the best-of-N for both variants; each cold repeat
-    drops every memoization layer (session, nat caches, typeck caches), so
-    the cold number is a true from-scratch compile.
+    drops every memoization layer (session, nat caches, typeck caches) and
+    uses a fresh session with *no* persistent artifact store attached, so
+    the cold number is a true from-scratch compile even when the CLI runs
+    with ``--store``.
     """
     text = print_program(PROGRAMS[name]())
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 import time
 from dataclasses import dataclass, field
@@ -51,33 +52,85 @@ QUICK_SIZES = ("small",)
 DESCEND_SCALES = (1, 4, 8)
 QUICK_DESCEND_SCALES = (1,)
 #: The default ``(size, scale)`` rows of the Descend engine benchmark: the
-#: small footprint across all scales plus the medium row at the largest
-#: scale (feasible since workloads compile once per sweep through the
-#: session-cached driver).
-DESCEND_ROWS = (("small", 1), ("small", 4), ("small", 8), ("medium", 8))
+#: small footprint across all scales (16 included), plus the medium and
+#: large rows at scale 8.  The biggest rows are only feasible because the
+#: reference-engine column is *budgeted*: rows whose (deterministic,
+#: cycle-count-based) reference estimate exceeds the wall-clock budget
+#: record ``"skipped": "budget"`` instead of blowing the CI time limit.
+DESCEND_ROWS = (
+    ("small", 1),
+    ("small", 4),
+    ("small", 8),
+    ("small", 16),
+    ("medium", 8),
+    ("large", 8),
+)
 QUICK_DESCEND_ROWS = (("small", 1),)
+
+#: Conservative upper estimate of the reference interpreter's wall-clock per
+#: simulated cycle (the checked-in trajectory measures 130–300 µs/cycle).
+#: The budget guard multiplies it by the row's cycle count — which both
+#: engines share exactly — so the skip decision is deterministic and
+#: identical between serial and sharded sweeps.
+REF_SECONDS_PER_CYCLE = 3e-4
+#: Default per-row budget (seconds) for the reference-engine column of the
+#: Descend sweep; override with ``--budget`` or ``REPRO_BENCH_BUDGET_S``.
+DEFAULT_REF_BUDGET_S = 600.0
+
+
+def default_budget_s() -> float:
+    """The reference-column budget: ``REPRO_BENCH_BUDGET_S`` or the default."""
+    try:
+        return float(os.environ.get("REPRO_BENCH_BUDGET_S", DEFAULT_REF_BUDGET_S))
+    except ValueError:
+        return DEFAULT_REF_BUDGET_S
+
+
+def estimate_reference_wall_s(cycles: float) -> float:
+    """Deterministic upper estimate of a reference-engine run's wall-clock."""
+    return cycles * REF_SECONDS_PER_CYCLE
+
+
+def _json_number(value: Optional[float]) -> Optional[float]:
+    """Non-finite floats become ``None``: ``json.dump`` would otherwise emit
+    ``NaN``/``Infinity``, which is not valid JSON for strict consumers of the
+    ``BENCH_*.json`` artifacts."""
+    if value is None or not math.isfinite(value):
+        return None
+    return value
 
 
 @dataclass
 class EngineBenchRow:
-    """One workload, both engines."""
+    """One workload, both engines.
+
+    When the budget guard skips the reference-engine column, ``skipped``
+    names the reason (``"budget"``) and every reference-derived field
+    (``reference_cycles``, ``reference_wall_s``, ``cycles_match``,
+    ``speedup``) is ``None``.
+    """
 
     benchmark: str
     size: str
-    reference_cycles: float
+    reference_cycles: Optional[float]
     vectorized_cycles: float
-    reference_wall_s: float
+    reference_wall_s: Optional[float]
     vectorized_wall_s: float
     footprint_bytes: int
     variant: str = "cudalite"
     scale: int = 1
+    skipped: Optional[str] = None
 
     @property
-    def cycles_match(self) -> bool:
+    def cycles_match(self) -> Optional[bool]:
+        if self.reference_cycles is None:
+            return None
         return self.reference_cycles == self.vectorized_cycles
 
     @property
-    def speedup(self) -> float:
+    def speedup(self) -> Optional[float]:
+        if self.reference_wall_s is None:
+            return None
         if self.vectorized_wall_s == 0:
             return float("inf")
         return self.reference_wall_s / self.vectorized_wall_s
@@ -93,8 +146,9 @@ class EngineBenchRow:
             "cycles_match": self.cycles_match,
             "reference_wall_s": self.reference_wall_s,
             "vectorized_wall_s": self.vectorized_wall_s,
-            "speedup": self.speedup,
+            "speedup": _json_number(self.speedup),
             "footprint_bytes": self.footprint_bytes,
+            "skipped": self.skipped,
         }
 
 
@@ -105,21 +159,27 @@ class EngineBenchResult:
     rows: List[EngineBenchRow] = field(default_factory=list)
 
     @property
+    def measured_rows(self) -> List[EngineBenchRow]:
+        """Rows whose reference column actually ran (not budget-skipped)."""
+        return [row for row in self.rows if row.skipped is None]
+
+    @property
     def all_cycles_match(self) -> bool:
-        return all(row.cycles_match for row in self.rows)
+        return all(row.cycles_match for row in self.measured_rows)
 
     @property
     def geometric_mean_speedup(self) -> float:
-        speedups = [row.speedup for row in self.rows if row.speedup > 0]
+        speedups = [row.speedup for row in self.measured_rows if row.speedup > 0]
         if not speedups:
             return float("nan")
         return math.exp(sum(math.log(s) for s in speedups) / len(speedups))
 
     @property
     def min_speedup(self) -> float:
-        if not self.rows:
+        speedups = [row.speedup for row in self.measured_rows]
+        if not speedups:
             return float("nan")
-        return min(row.speedup for row in self.rows)
+        return min(speedups)
 
     kind: str = "engine-bench"
 
@@ -128,8 +188,9 @@ class EngineBenchResult:
             "kind": self.kind,
             "workloads": [row.as_dict() for row in self.rows],
             "all_cycles_match": self.all_cycles_match,
-            "geometric_mean_speedup": self.geometric_mean_speedup,
-            "min_speedup": self.min_speedup,
+            "geometric_mean_speedup": _json_number(self.geometric_mean_speedup),
+            "min_speedup": _json_number(self.min_speedup),
+            "skipped_rows": sum(1 for row in self.rows if row.skipped is not None),
         }
 
     def to_table(self) -> str:
@@ -143,11 +204,13 @@ class EngineBenchResult:
                     row.size,
                     row.scale,
                     format_bytes(row.footprint_bytes),
-                    round(row.reference_cycles, 1),
-                    "==" if row.cycles_match else "MISMATCH",
-                    f"{row.reference_wall_s * 1e3:.1f} ms",
+                    round(row.vectorized_cycles, 1),
+                    ("==" if row.cycles_match else "MISMATCH")
+                    if row.skipped is None
+                    else f"skip:{row.skipped}",
+                    f"{row.reference_wall_s * 1e3:.1f} ms" if row.skipped is None else "—",
                     f"{row.vectorized_wall_s * 1e3:.1f} ms",
-                    f"{row.speedup:.1f}x",
+                    f"{row.speedup:.1f}x" if row.skipped is None else "—",
                 )
                 for row in self.rows
             ],
@@ -195,12 +258,18 @@ def compare_engines(
     repeats: int = 1,
     variant: str = "cudalite",
     scale: Optional[int] = None,
+    budget_s: Optional[float] = None,
 ) -> EngineBenchRow:
     """Run one workload on both engines and check cycle-count parity.
 
     ``variant`` selects the implementation under test: ``"cudalite"`` (the
     handwritten kernels) or ``"descend"`` (the Descend programs through the
     interpreter, vectorized via the device-plan compiler).
+
+    ``budget_s`` bounds the reference-engine column: the vectorized engine
+    runs first (it shares the exact cycle count), and if the deterministic
+    estimate :func:`estimate_reference_wall_s` exceeds the budget the
+    reference run is skipped and the row records ``skipped="budget"``.
     """
     workload_ = workload(benchmark, size, scale=scale)
     data, reference = _reference_and_data(workload_)
@@ -208,11 +277,25 @@ def compare_engines(
     runner = runners[benchmark]
     if variant == "descend":
         # Warm the compile cache outside the timed regions so both engines
-        # measure pure execution (the reference engine is timed first and
-        # would otherwise pay the cold typeck the vectorized run then skips).
+        # measure pure execution: without this the first timed run would pay
+        # the cold typeck (or warm it from the attached artifact store) that
+        # later runs then get from the cache.
         precompile_descend(benchmark, workload_.params)
-    ref_cycles, ref_wall = _time_variant(runner, workload_, data, reference, "reference", repeats)
     vec_cycles, vec_wall = _time_variant(runner, workload_, data, reference, "vectorized", repeats)
+    if budget_s is not None and estimate_reference_wall_s(vec_cycles) > budget_s:
+        return EngineBenchRow(
+            benchmark=benchmark,
+            size=size,
+            reference_cycles=None,
+            vectorized_cycles=vec_cycles,
+            reference_wall_s=None,
+            vectorized_wall_s=vec_wall,
+            footprint_bytes=workload_.footprint_bytes(),
+            variant=variant,
+            scale=scale_factor(scale),
+            skipped="budget",
+        )
+    ref_cycles, ref_wall = _time_variant(runner, workload_, data, reference, "reference", repeats)
     row = EngineBenchRow(
         benchmark=benchmark,
         size=size,
@@ -232,21 +315,80 @@ def compare_engines(
     return row
 
 
+def _run_sweep(
+    variant: str,
+    specs: Sequence[Tuple[str, str, Optional[int]]],
+    kind: str,
+    repeats: int,
+    budget_s: Optional[float],
+    jobs: int,
+    store_path: Optional[str],
+    progress,
+) -> EngineBenchResult:
+    """Run a sweep's cells serially or sharded across worker processes.
+
+    The serial path is the default and the parity oracle; the sharded path
+    (:mod:`repro.benchsuite.sweep`) merges per-shard rows back into sweep
+    order, so both produce identical reports modulo the timing fields.
+    """
+    result = EngineBenchResult(kind=kind)
+    if jobs > 1:
+        from repro.benchsuite.sweep import make_cells, run_cells
+
+        if progress is not None:
+            progress(f"sharding {len(specs)} sweep cells across {jobs} workers ...")
+        cells = make_cells(variant, specs, repeats=repeats, budget_s=budget_s)
+        result.rows.extend(run_cells(cells, jobs, store_path=store_path, progress=progress))
+        return result
+    def run_serial() -> None:
+        for benchmark, size, scale in specs:
+            if progress is not None:
+                progress(
+                    f"benchmarking {variant} {benchmark}/{size} at scale "
+                    f"{scale_factor(scale)} on both engines ..."
+                )
+            result.rows.append(
+                compare_engines(
+                    benchmark, size, repeats=repeats, variant=variant, scale=scale,
+                    budget_s=budget_s,
+                )
+            )
+
+    if store_path:
+        # A serial sweep with an explicit store runs in its own scoped
+        # session bound to exactly that store — never a best-effort mutation
+        # of the process-global session, which may already carry a different
+        # store (and would otherwise keep ours attached after the sweep).
+        from repro.descend.driver import CompileSession, session_scope
+        from repro.descend.store import ArtifactStore
+
+        try:
+            store = ArtifactStore(store_path)
+        except OSError as exc:
+            raise BenchmarkError(
+                f"cannot open artifact store {store_path!r}: {exc}"
+            ) from exc
+        with session_scope(CompileSession(label="sweep").attach_store(store)):
+            run_serial()
+    else:
+        run_serial()
+    return result
+
+
 def run_engine_bench(
     benchmarks: Sequence[str] = BENCHMARKS,
     sizes: Sequence[str] = DEFAULT_SIZES,
     repeats: int = 1,
     progress=None,
     scale: Optional[int] = None,
+    jobs: int = 1,
+    store_path: Optional[str] = None,
 ) -> EngineBenchResult:
     """Benchmark every selected workload on both engines (CUDA-lite kernels)."""
-    result = EngineBenchResult()
-    for benchmark in benchmarks:
-        for size in sizes:
-            if progress is not None:
-                progress(f"benchmarking {benchmark}/{size} on both engines ...")
-            result.rows.append(compare_engines(benchmark, size, repeats=repeats, scale=scale))
-    return result
+    specs = [(benchmark, size, scale) for benchmark in benchmarks for size in sizes]
+    return _run_sweep(
+        "cudalite", specs, "engine-bench", repeats, None, jobs, store_path, progress
+    )
 
 
 def run_descend_engine_bench(
@@ -256,6 +398,9 @@ def run_descend_engine_bench(
     rows: Optional[Sequence[Tuple[str, int]]] = None,
     repeats: int = 1,
     progress=None,
+    budget_s: Optional[float] = None,
+    jobs: int = 1,
+    store_path: Optional[str] = None,
 ) -> EngineBenchResult:
     """Benchmark the Descend programs on both engines across workload scales.
 
@@ -265,6 +410,12 @@ def run_descend_engine_bench(
     and workloads compile once per sweep.  The sweep is a list of
     ``(size, scale)`` rows: pass ``rows`` directly, or ``sizes`` / ``scales``
     to take their cartesian product; the default is :data:`DESCEND_ROWS`.
+
+    ``budget_s`` (default: :func:`default_budget_s`) caps the per-row
+    reference-engine wall-clock; over-budget rows keep their vectorized
+    column and record ``"skipped": "budget"``.  ``jobs > 1`` shards the
+    rows across worker processes, each warming from the shared artifact
+    store at ``store_path`` if one is given.
     """
     if rows is None:
         if sizes is None and scales is None:
@@ -275,20 +426,17 @@ def run_descend_engine_bench(
                 for scale in (scales if scales is not None else DESCEND_SCALES)
                 for size in (sizes if sizes is not None else QUICK_SIZES)
             )
-    result = EngineBenchResult(kind="descend-engine-bench")
-    for size, scale in rows:
-        for benchmark in benchmarks:
-            if progress is not None:
-                progress(
-                    f"benchmarking descend {benchmark}/{size} at scale {scale} "
-                    "on both engines ..."
-                )
-            result.rows.append(
-                compare_engines(
-                    benchmark, size, repeats=repeats, variant="descend", scale=scale
-                )
-            )
-    return result
+    if budget_s is None:
+        budget_s = default_budget_s()
+    specs = [
+        (benchmark, size, scale)
+        for size, scale in rows
+        for benchmark in benchmarks
+    ]
+    return _run_sweep(
+        "descend", specs, "descend-engine-bench", repeats, budget_s, jobs,
+        store_path, progress,
+    )
 
 
 def write_report(result: EngineBenchResult, path: str, quick: bool = False) -> Dict[str, object]:
@@ -297,7 +445,10 @@ def write_report(result: EngineBenchResult, path: str, quick: bool = False) -> D
     payload["quick"] = quick
     payload["created_unix"] = time.time()
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
+        # allow_nan=False: the report must stay valid JSON for strict
+        # consumers (jq, JSON.parse); non-finite aggregates are already
+        # mapped to null by as_dict.
+        json.dump(payload, handle, indent=2, allow_nan=False)
         handle.write("\n")
     return payload
 
@@ -324,6 +475,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--scale", type=int, default=None,
         help="workload scale for the CUDA-lite variant (overrides REPRO_SCALE)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="shard the sweep across N worker processes (default: serial)",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=None,
+        help="per-row reference-engine wall-clock budget in seconds for the Descend "
+        "sweep (default: REPRO_BENCH_BUDGET_S or "
+        f"{DEFAULT_REF_BUDGET_S:.0f}); over-budget rows record skipped=budget",
+    )
+    parser.add_argument(
+        "--store", default=None,
+        help="persistent artifact store warming the compile caches "
+        "(shared by every sweep worker with --jobs)",
     )
     parser.add_argument(
         "--output", default=None,
@@ -359,6 +525,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 scales=scales,
                 repeats=args.repeats,
                 progress=progress,
+                budget_s=args.budget,
+                jobs=args.jobs,
+                store_path=args.store,
             )
         else:
             sizes = args.sizes if args.sizes else (
@@ -370,6 +539,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 repeats=args.repeats,
                 progress=progress,
                 scale=args.scale,
+                jobs=args.jobs,
+                store_path=args.store,
             )
     except BenchmarkError as exc:
         print(f"error: {exc}", file=sys.stderr)

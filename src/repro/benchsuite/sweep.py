@@ -1,0 +1,130 @@
+"""Multi-process sweep orchestrator for the engine benchmarks.
+
+A benchsuite sweep is a list of independent cells — one ``(variant,
+benchmark, size, scale)`` workload measured on both execution engines.
+Serial execution (:mod:`repro.benchsuite.enginebench`) is the default and
+the parity oracle; this module shards the same cells across worker
+processes when wall-clock matters more than simplicity (full descend
+sweeps, CI regeneration, `repro.cli bench --jobs N`).
+
+Guarantees relative to the serial sweep:
+
+* **Same rows, same order.**  Workers return rows tagged with their cell
+  index; the orchestrator re-assembles them in sweep order, so the merged
+  ``BENCH_*.json`` is byte-identical to the serial report modulo the
+  timing fields (wall-clock, speedup, ``created_unix``).  Cycle counts,
+  race counts, parity verdicts, footprints and budget-skip decisions are
+  all deterministic and process-independent.
+* **Shared warmth.**  Every worker attaches the same persistent
+  :class:`~repro.descend.store.ArtifactStore` (when one is configured), so
+  shard N does not re-typecheck the programs shard M already compiled —
+  the store is the cross-process analogue of the sweep-wide
+  :class:`~repro.descend.driver.CompileSession`.
+* **Fail loud.**  A cell that raises in a worker (parity violation, wrong
+  result, crash) aborts the whole sweep with a :class:`BenchmarkError`
+  naming the cell, exactly like the serial path.
+
+Workers are ``spawn``-ed, not forked: each starts from a cold interpreter
+so the "warming from the shared store" path is the one actually exercised,
+and no lock or session state is inherited mid-flight.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import BenchmarkError
+
+#: Hard cap on worker processes; sweeps have at most a few dozen cells.
+MAX_JOBS = 32
+
+
+def _worker_init(store_path: Optional[str]) -> None:
+    """Per-worker process setup: a fresh session warmed by the shared store."""
+    from repro.descend.driver import CompileSession, set_active_session
+
+    session = CompileSession(label=f"sweep-worker-{os.getpid()}")
+    if store_path:
+        from repro.descend.store import ArtifactStore
+
+        try:
+            session.attach_store(ArtifactStore(store_path))
+        except OSError:
+            pass  # an unusable store only costs warmth, never the sweep
+    set_active_session(session)
+
+
+def _run_cell(cell: Dict[str, object]):
+    """Measure one sweep cell; returns ``(index, row, error)``."""
+    from repro.benchsuite.enginebench import compare_engines
+
+    try:
+        row = compare_engines(
+            str(cell["benchmark"]),
+            str(cell["size"]),
+            repeats=int(cell["repeats"]),  # type: ignore[arg-type]
+            variant=str(cell["variant"]),
+            scale=cell["scale"],  # type: ignore[arg-type]
+            budget_s=cell["budget_s"],  # type: ignore[arg-type]
+        )
+        return cell["index"], row, None
+    except Exception as exc:  # propagate as data: tracebacks don't cross Pool cleanly
+        return cell["index"], None, f"{type(exc).__name__}: {exc}"
+
+
+def run_cells(
+    cells: Sequence[Dict[str, object]],
+    jobs: int,
+    store_path: Optional[str] = None,
+    progress=None,
+) -> List[object]:
+    """Run sweep cells across ``jobs`` worker processes; rows in sweep order.
+
+    Each cell dict carries ``index``, ``variant``, ``benchmark``, ``size``,
+    ``scale``, ``repeats`` and ``budget_s`` (see :func:`_run_cell`).
+    """
+    jobs = max(1, min(int(jobs), MAX_JOBS, len(cells) or 1))
+    context = multiprocessing.get_context("spawn")
+    rows: Dict[int, object] = {}
+    with context.Pool(
+        processes=jobs, initializer=_worker_init, initargs=(store_path,)
+    ) as pool:
+        for index, row, error in pool.imap_unordered(_run_cell, cells, chunksize=1):
+            if error is not None:
+                cell = next(c for c in cells if c["index"] == index)
+                pool.terminate()
+                raise BenchmarkError(
+                    f"sweep cell {cell['variant']}:{cell['benchmark']}/{cell['size']}"
+                    f" (scale {cell['scale']}) failed in a worker: {error}"
+                )
+            rows[int(index)] = row  # type: ignore[arg-type]
+            if progress is not None:
+                progress(
+                    f"[{len(rows)}/{len(cells)}] merged "
+                    f"{getattr(row, 'benchmark', '?')}/{getattr(row, 'size', '?')}"
+                    f" (scale {getattr(row, 'scale', '?')})"
+                )
+    return [rows[index] for index in sorted(rows)]
+
+
+def make_cells(
+    variant: str,
+    specs: Sequence[tuple],
+    repeats: int,
+    budget_s: Optional[float],
+) -> List[Dict[str, object]]:
+    """Cell dicts for ``specs`` of ``(benchmark, size, scale)`` triples."""
+    return [
+        {
+            "index": index,
+            "variant": variant,
+            "benchmark": benchmark,
+            "size": size,
+            "scale": scale,
+            "repeats": repeats,
+            "budget_s": budget_s,
+        }
+        for index, (benchmark, size, scale) in enumerate(specs)
+    ]

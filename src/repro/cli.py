@@ -15,23 +15,32 @@ Sub-commands:
 ``descendc figure8 [--sizes small ...] [--engine vectorized] [--scale N]``
     Run the benchmark harness reproducing Figure 8 of the paper.
 
-``descendc bench [--quick] [--descend] [--compile] [--scales 1 4 8]``
+``descendc bench [--quick] [--descend] [--compile] [--scales 1 4 8] [--jobs N]``
     Benchmark the reference vs the warp-vectorized execution engine on the
     Figure 8 workloads (CUDA-lite kernels by default, the Descend programs
     through the device-plan compiler with ``--descend``), assert cycle-count
     parity, and write a ``BENCH_*.json`` report (the CI bench-smoke
-    artifacts).  ``--compile`` benchmarks the *compiler* instead: the staged
-    driver's per-pass timings, cold vs session-cached
-    (``BENCH_compile_time.json``).
+    artifacts).  ``--jobs N`` shards the sweep across N worker processes
+    (serial stays the default and the parity oracle); ``--compile``
+    benchmarks the *compiler* instead: the staged driver's per-pass timings,
+    cold vs session-cached (``BENCH_compile_time.json``).
+
+``descendc cache stats|clear|gc [--store PATH]``
+    Inspect, empty, or garbage-collect the persistent artifact store.
 
 All sub-commands share one :class:`~repro.descend.driver.CompileSession`:
 repeated compiles of the same file hit the content-addressed pass cache.
-``--timings`` prints the session's pass breakdown after the command.
+``--store PATH`` (or the ``REPRO_STORE`` environment variable) attaches a
+persistent :class:`~repro.descend.store.ArtifactStore` under the session,
+so the cache additionally survives across invocations.  ``--timings``
+prints the session's pass breakdown after the command.
 """
 
 from __future__ import annotations
 
 import argparse
+import json as _json
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -41,6 +50,17 @@ from repro.errors import DescendError, DescendSyntaxError, DescendTypeError
 #: The session shared by every sub-command of one CLI invocation.
 _SESSION = CompileSession(label="cli")
 _DRIVER = CompilerDriver(_SESSION)
+
+
+def _store_path(args: argparse.Namespace) -> Optional[str]:
+    """The persistent store path: ``--store`` wins over ``REPRO_STORE``."""
+    return getattr(args, "store", None) or os.environ.get("REPRO_STORE") or None
+
+
+def _open_store(path: str):
+    from repro.descend.store import ArtifactStore
+
+    return ArtifactStore(path)
 
 
 def _load(path: str):
@@ -125,11 +145,14 @@ def cmd_figure8(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     if args.compile:
-        if args.descend or args.benchmarks or args.sizes or args.scales or args.scale is not None:
+        if (
+            args.descend or args.benchmarks or args.sizes or args.scales
+            or args.scale is not None or args.jobs is not None or args.budget is not None
+        ):
             print(
                 "error: --compile benchmarks the compiler itself and does not take "
-                "workload flags (--descend/--benchmarks/--sizes/--scales/--scale); "
-                "combine it only with --quick/--repeats/--output/--json",
+                "workload flags (--descend/--benchmarks/--sizes/--scales/--scale/"
+                "--jobs/--budget); combine it only with --quick/--repeats/--output/--json",
                 file=sys.stderr,
             )
             return 2
@@ -163,11 +186,58 @@ def cmd_bench(args: argparse.Namespace) -> int:
         forwarded += ["--scale", str(args.scale)]
     if args.repeats:
         forwarded += ["--repeats", str(args.repeats)]
+    if args.jobs is not None:
+        forwarded += ["--jobs", str(args.jobs)]
+    if args.budget is not None:
+        forwarded += ["--budget", str(args.budget)]
+    store = _store_path(args)
+    if store:
+        forwarded += ["--store", store]
     if args.output:
         forwarded += ["--output", args.output]
     if args.json:
         forwarded.append("--json")
     return enginebench.main(forwarded)
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    path = _store_path(args)
+    if not path:
+        print(
+            "error: no store selected; pass --store PATH or set REPRO_STORE",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        store = _open_store(path)
+    except OSError as exc:
+        print(f"error: cannot open artifact store {path!r}: {exc}", file=sys.stderr)
+        return 2
+    if args.cache_command == "stats":
+        stats = store.stats()
+        if args.json:
+            print(_json.dumps(stats, indent=2))
+        else:
+            kinds = ", ".join(f"{k}={v}" for k, v in sorted(stats["kinds"].items())) or "none"
+            print(f"store {stats['root']} (schema {stats['schema']}, format {stats['format']})")
+            print(
+                f"  {stats['entries']} artifacts, {stats['total_bytes']} bytes "
+                f"(budget {stats['max_bytes']})"
+            )
+            print(f"  kinds: {kinds}")
+    elif args.cache_command == "clear":
+        store.clear()
+        print(f"cleared store {path}")
+    elif args.cache_command == "gc":
+        summary = store.gc(max_bytes=args.max_bytes)
+        if args.json:
+            print(_json.dumps(summary, indent=2))
+        else:
+            print(
+                f"gc: {summary['entries']} artifacts, {summary['total_bytes']} bytes "
+                f"(budget {summary['max_bytes']})"
+            )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -178,22 +248,46 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     timings_help = "print the compile session's per-pass timing breakdown"
+    store_help = (
+        "attach a persistent artifact store at PATH (compiles warm across "
+        "invocations; default: the REPRO_STORE environment variable)"
+    )
 
     check = sub.add_parser("check", help="parse and type check a .descend file")
     check.add_argument("file")
     check.add_argument("--timings", action="store_true", help=timings_help)
+    check.add_argument("--store", default=None, help=store_help)
     check.set_defaults(func=cmd_check)
 
     compile_ = sub.add_parser("compile", help="emit CUDA C++ for a .descend file")
     compile_.add_argument("file")
     compile_.add_argument("-o", "--output")
     compile_.add_argument("--timings", action="store_true", help=timings_help)
+    compile_.add_argument("--store", default=None, help=store_help)
     compile_.set_defaults(func=cmd_compile)
 
     print_ = sub.add_parser("print", help="pretty-print a .descend file")
     print_.add_argument("file")
     print_.add_argument("--timings", action="store_true", help=timings_help)
+    print_.add_argument("--store", default=None, help=store_help)
     print_.set_defaults(func=cmd_print)
+
+    cache = sub.add_parser("cache", help="manage the persistent artifact store")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser("stats", help="show store contents and counters")
+    cache_stats.add_argument("--store", default=None, help=store_help)
+    cache_stats.add_argument("--json", action="store_true")
+    cache_stats.set_defaults(func=cmd_cache)
+    cache_clear = cache_sub.add_parser("clear", help="delete every stored artifact")
+    cache_clear.add_argument("--store", default=None, help=store_help)
+    cache_clear.set_defaults(func=cmd_cache)
+    cache_gc = cache_sub.add_parser(
+        "gc", help="reconcile the index with the blobs and enforce the size budget"
+    )
+    cache_gc.add_argument("--store", default=None, help=store_help)
+    cache_gc.add_argument("--max-bytes", type=int, default=None)
+    cache_gc.add_argument("--json", action="store_true")
+    cache_gc.set_defaults(func=cmd_cache)
 
     fig8 = sub.add_parser("figure8", help="run the Figure 8 benchmark harness")
     fig8.add_argument("--benchmarks", nargs="*")
@@ -227,6 +321,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--scale", type=int, default=None, help="workload scale (CUDA-lite variant)")
     bench.add_argument("--repeats", type=int)
+    bench.add_argument(
+        "--jobs", type=int, default=None,
+        help="shard the sweep across N worker processes (default: serial)",
+    )
+    bench.add_argument(
+        "--budget", type=float, default=None,
+        help="per-row wall-clock budget (seconds) for the reference-engine column "
+        "of the Descend sweep; over-budget rows record it as skipped",
+    )
+    bench.add_argument("--store", default=None, help=store_help)
     bench.add_argument("--output", help="path of the BENCH_*.json report")
     bench.add_argument("--json", action="store_true")
     bench.set_defaults(func=cmd_bench)
@@ -237,6 +341,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Attach (or detach) the persistent artifact store for this invocation;
+    # the `cache` sub-commands manage the store directly instead.
+    if args.command != "cache":
+        path = _store_path(args)
+        try:
+            _SESSION.store = _open_store(path) if path else None
+        except OSError as exc:
+            print(f"error: cannot open artifact store {path!r}: {exc}", file=sys.stderr)
+            return 2
     # Install the CLI session as the process-wide one so every consumer the
     # sub-commands touch (interpreter launches, benchsuite sweeps) shares it.
     previous = set_active_session(_SESSION)

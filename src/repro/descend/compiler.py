@@ -12,7 +12,10 @@ process-wide :class:`~repro.descend.driver.CompileSession`, so repeated
 compiles of the same source text (or of structurally equal builder-API
 programs) hit the content-addressed pass cache instead of re-parsing and
 re-checking.  Pass an explicit session via :class:`CompilerDriver` for
-isolation, or use :func:`~repro.descend.driver.session_scope`.
+isolation, or use :func:`~repro.descend.driver.session_scope`.  Attach a
+persistent :class:`~repro.descend.store.ArtifactStore`
+(``session.attach_store(ArtifactStore(path))``) to make the cache survive
+across processes.
 
 Programs built with :mod:`repro.descend.builder` go through
 :func:`compile_program` instead of :func:`compile_source`.
@@ -29,8 +32,10 @@ from repro.descend.driver import (
     session_scope,
     set_active_session,
 )
+from repro.descend.store import ArtifactStore
 
 __all__ = [
+    "ArtifactStore",
     "CompiledProgram",
     "CompilerDriver",
     "CompileSession",

@@ -26,6 +26,14 @@ device plan.  This module turns "compile" into an architectural layer:
   launches — hit the cache instead of re-checking.  Failed compiles are
   cached too, so cached diagnostics are byte-identical to cold ones.
 
+* Attaching a persistent :class:`~repro.descend.store.cas.ArtifactStore`
+  (``session.attach_store(store)``) adds a second cache tier *under* the
+  in-memory one: lookups go memory → store → compute, and cold results are
+  written back, so the cache survives across processes (CLI invocations,
+  CI jobs, benchsuite shards).  Device plans are closures and therefore
+  persist as outcome stubs that rehydrate via a deterministic re-lowering;
+  everything else round-trips byte-identically through pickles.
+
 Every process has an *active* session (:func:`active_session`); consumers
 that want isolation (tests, cold-cache benchmarks) create their own
 ``CompileSession`` and pass it to a driver, or scope one temporarily with
@@ -39,9 +47,10 @@ from __future__ import annotations
 
 import copy
 import hashlib
+import pickle
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.descend.ast import terms as T
@@ -64,13 +73,27 @@ PASS_ORDER = (PASS_PARSE, PASS_TYPECK, PASS_LOWER_PLAN, PASS_LOWER_CUDA, PASS_LO
 
 @dataclass(frozen=True)
 class PassTiming:
-    """Wall-clock record of one pass over one compilation unit."""
+    """Wall-clock record of one pass over one compilation unit.
+
+    ``source`` records which cache tier satisfied the pass: ``"compute"``
+    (cold), ``"memory"`` (the in-process session cache) or ``"store"`` (the
+    persistent artifact store).  An empty string means "derive it from
+    ``cached``" so that hand-built timings stay valid.
+    """
 
     unit: str
     name: str
     wall_s: float
     cached: bool
     detail: str = ""
+    source: str = ""
+
+    @property
+    def tier(self) -> str:
+        """The effective cache tier this pass was served from."""
+        if self.source:
+            return self.source
+        return "memory" if self.cached else "compute"
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -79,6 +102,7 @@ class PassTiming:
             "wall_s": self.wall_s,
             "cached": self.cached,
             "detail": self.detail,
+            "source": self.tier,
         }
 
 
@@ -108,28 +132,100 @@ class CompileSession:
 
     #: Caps for the content-addressed stores and the timing log.  Sessions
     #: are long-lived (the CLI and the façades share process-wide ones), so
-    #: every store evicts oldest-first past its cap instead of growing
-    #: without bound; an evicted program simply recompiles on the next ask.
+    #: every store evicts least-recently-used past its cap instead of
+    #: growing without bound; an evicted program simply recompiles (or
+    #: reloads from the persistent store) on the next ask.
     MAX_UNITS = 1024
     MAX_TIMINGS = 8192
 
-    def __init__(self, label: str = "session") -> None:
+    def __init__(self, label: str = "session", store: Optional[object] = None) -> None:
         self.label = label
+        #: Optional persistent tier (an
+        #: :class:`~repro.descend.store.cas.ArtifactStore`): misses in the
+        #: in-memory maps fall through to it, cold results write back.
+        self.store = store
         self._programs: Dict[object, "CompiledProgram"] = {}
         self._failures: Dict[object, DescendError] = {}
         self._plans: Dict[Tuple[object, str], Tuple[Optional[object], Optional[str]]] = {}
         self._cuda: Dict[Tuple[object, Optional[Tuple[Tuple[str, int], ...]]], object] = {}
         self._printed: Dict[object, str] = {}
+        self._digests: Dict[object, object] = {}
         self.timings: List[PassTiming] = []
         self.hits = 0
         self.misses = 0
         self.plan_compiles = 0
 
     def _store(self, cache: Dict, key: object, value: object) -> None:
-        """Insert with FIFO eviction (dicts preserve insertion order)."""
+        """Insert with LRU eviction (dicts preserve insertion order, and
+        every cache hit reinserts its key at the end via :meth:`_touch`)."""
         if key not in cache and len(cache) >= self.MAX_UNITS:
             cache.pop(next(iter(cache)))
         cache[key] = value
+
+    @staticmethod
+    def _touch(cache: Dict, key: object) -> None:
+        """Move a hit key to the most-recently-used end of its cache."""
+        cache[key] = cache.pop(key)
+
+    # -- persistent tier -------------------------------------------------------
+    def attach_store(self, store: object) -> "CompileSession":
+        """Attach a persistent artifact store as the second cache tier."""
+        self.store = store
+        return self
+
+    def key_digest(self, key: object) -> Optional[str]:
+        """Stable (cross-process) hex digest of a cache key.
+
+        Source keys already carry a content hash; builder-program keys are
+        digested through a deterministic pickle of the frozen AST.  Returns
+        ``None`` for keys that cannot be digested (those artifacts stay
+        in-memory-only).
+        """
+        memo = self._digests.get(key)
+        if memo is not None:
+            return memo if isinstance(memo, str) else None
+        if isinstance(key, tuple) and len(key) == 3 and key[0] == "source":
+            _, name, content_hash = key
+            digest: Optional[str] = hashlib.sha256(
+                f"source\0{name}\0{content_hash}".encode("utf-8")
+            ).hexdigest()
+        elif isinstance(key, tuple) and len(key) == 2 and key[0] == "program":
+            try:
+                blob = pickle.dumps(key[1], protocol=4)
+            except Exception:
+                blob = None
+            digest = (
+                hashlib.sha256(b"program\0" + blob).hexdigest() if blob is not None else None
+            )
+        else:
+            digest = None
+        self._store(self._digests, key, digest if digest is not None else False)
+        return digest
+
+    def artifact_digest(self, kind: str, key: object, extra: str = "") -> Optional[str]:
+        """The store object name of one ``(kind, unit key, extra)`` artifact."""
+        base = self.key_digest(key)
+        if base is None:
+            return None
+        return hashlib.sha256(f"{kind}\0{extra}\0{base}".encode("utf-8")).hexdigest()
+
+    def store_load(self, kind: str, key: object, extra: str = "") -> Optional[object]:
+        """Load one artifact from the persistent tier (``None`` on miss)."""
+        if self.store is None:
+            return None
+        digest = self.artifact_digest(kind, key, extra)
+        if digest is None:
+            return None
+        return self.store.load(digest)
+
+    def store_put(self, kind: str, key: object, value: object, extra: str = "") -> bool:
+        """Write one artifact back to the persistent tier (best-effort)."""
+        if self.store is None:
+            return False
+        digest = self.artifact_digest(kind, key, extra)
+        if digest is None:
+            return False
+        return self.store.store(digest, value, kind=kind)
 
     # -- keys ------------------------------------------------------------------
     @staticmethod
@@ -166,7 +262,7 @@ class CompileSession:
         return timing
 
     def stats(self) -> Dict[str, object]:
-        return {
+        stats: Dict[str, object] = {
             "label": self.label,
             "programs": len(self._programs),
             "failures": len(self._failures),
@@ -176,6 +272,9 @@ class CompileSession:
             "hits": self.hits,
             "misses": self.misses,
         }
+        if self.store is not None:
+            stats["store"] = self.store.stats()
+        return stats
 
     def clear(self) -> None:
         self._programs.clear()
@@ -183,6 +282,7 @@ class CompileSession:
         self._plans.clear()
         self._cuda.clear()
         self._printed.clear()
+        self._digests.clear()
         self.timings.clear()
         self.hits = 0
         self.misses = 0
@@ -196,7 +296,7 @@ class CompileSession:
         lines = [header, "-" * len(header)]
         lines.extend(
             f"{timing.unit:<28} {timing.name:<12} {timing.wall_s * 1e3:>8.2f}ms"
-            f"  {'yes' if timing.cached else 'no'}"
+            f"  {'store' if timing.tier == 'store' else ('yes' if timing.cached else 'no')}"
             for timing in self.timings
         )
         totals: Dict[str, float] = {}
@@ -205,8 +305,14 @@ class CompileSession:
         summary = ", ".join(
             f"{name} {totals[name] * 1e3:.2f}ms" for name in PASS_ORDER if name in totals
         )
+        counters = f"cache hits {self.hits}, misses {self.misses}"
+        if self.store is not None:
+            counters += (
+                f"; store hits {self.store.hits}, misses {self.store.misses},"
+                f" writes {self.store.writes}"
+            )
         lines.append("-" * len(header))
-        lines.append(f"total per pass: {summary}  (cache hits {self.hits}, misses {self.misses})")
+        lines.append(f"total per pass: {summary}  ({counters})")
         return "\n".join(lines)
 
     # -- cached lowerings --------------------------------------------------------
@@ -231,21 +337,53 @@ class CompileSession:
             key = self.program_key(program)
         entry_key = (key, fun_name)
         if key is not None and entry_key in self._plans:
+            self._touch(self._plans, entry_key)
             self.record(
-                PassTiming(unit, PASS_LOWER_PLAN, time.perf_counter() - start, True, fun_name)
+                PassTiming(
+                    unit, PASS_LOWER_PLAN, time.perf_counter() - start, True, fun_name, "memory"
+                )
             )
             return self._plans[entry_key]
+        # A device plan is a tree of closures and cannot be pickled; the
+        # persistent tier stores its *outcome* instead: fallback reasons are
+        # complete artifacts, supported plans a stub that is rehydrated by
+        # re-running the (deterministic) lowering against the cached program.
+        rehydrate = False
+        persisted = self.store_load("plan", key, extra=fun_name) if key is not None else None
+        if isinstance(persisted, tuple) and len(persisted) == 2:
+            status, reason = persisted
+            if status == "fallback" and isinstance(reason, str):
+                entry: Tuple[Optional[object], Optional[str]] = (None, reason)
+                self.record(
+                    PassTiming(
+                        unit, PASS_LOWER_PLAN, time.perf_counter() - start, True, fun_name, "store"
+                    )
+                )
+                self._store(self._plans, entry_key, entry)
+                return entry
+            rehydrate = status == "ok"
         try:
             plan = device_plan(program.fun(fun_name))
-            entry: Tuple[Optional[object], Optional[str]] = (plan, None)
+            entry = (plan, None)
         except PlanUnsupported as exc:
             entry = (None, str(exc))
-        self.plan_compiles += 1
+        if not rehydrate:
+            self.plan_compiles += 1
         self.record(
-            PassTiming(unit, PASS_LOWER_PLAN, time.perf_counter() - start, False, fun_name)
+            PassTiming(
+                unit,
+                PASS_LOWER_PLAN,
+                time.perf_counter() - start,
+                rehydrate,
+                fun_name,
+                "store" if rehydrate else "compute",
+            )
         )
         if key is not None:
             self._store(self._plans, entry_key, entry)
+            if not rehydrate:
+                record = ("ok", None) if entry[1] is None else ("fallback", entry[1])
+                self.store_put("plan", key, record, extra=fun_name)
         return entry
 
     def cuda_module(
@@ -264,12 +402,28 @@ class CompileSession:
         env_key = tuple(sorted(nat_env.items())) if nat_env else None
         entry_key = (key, env_key)
         if key is not None and entry_key in self._cuda:
-            self.record(PassTiming(unit, PASS_LOWER_CUDA, time.perf_counter() - start, True))
+            self._touch(self._cuda, entry_key)
+            self.record(
+                PassTiming(unit, PASS_LOWER_CUDA, time.perf_counter() - start, True, "", "memory")
+            )
             return self._cuda[entry_key]
+        if key is not None:
+            persisted = self.store_load("cuda", key, extra=repr(env_key))
+            # Duck-typed shape check: a wrong-typed (corrupt) artifact must
+            # degrade to a cold lowering, not crash the consumer later.
+            if persisted is not None and hasattr(persisted, "full_source"):
+                self.record(
+                    PassTiming(
+                        unit, PASS_LOWER_CUDA, time.perf_counter() - start, True, "", "store"
+                    )
+                )
+                self._store(self._cuda, entry_key, persisted)
+                return persisted
         module = generate_cuda(program, nat_env)
         self.record(PassTiming(unit, PASS_LOWER_CUDA, time.perf_counter() - start, False))
         if key is not None:
             self._store(self._cuda, entry_key, module)
+            self.store_put("cuda", key, module, extra=repr(env_key))
         return module
 
     def printed_source(
@@ -280,12 +434,26 @@ class CompileSession:
         if key is None:
             key = self.program_key(program)
         if key is not None and key in self._printed:
-            self.record(PassTiming(unit, PASS_LOWER_PRINT, time.perf_counter() - start, True))
+            self._touch(self._printed, key)
+            self.record(
+                PassTiming(unit, PASS_LOWER_PRINT, time.perf_counter() - start, True, "", "memory")
+            )
             return self._printed[key]
+        if key is not None:
+            persisted = self.store_load("print", key)
+            if isinstance(persisted, str):
+                self.record(
+                    PassTiming(
+                        unit, PASS_LOWER_PRINT, time.perf_counter() - start, True, "", "store"
+                    )
+                )
+                self._store(self._printed, key, persisted)
+                return persisted
         text = print_program(program)
         self.record(PassTiming(unit, PASS_LOWER_PRINT, time.perf_counter() - start, False))
         if key is not None:
             self._store(self._printed, key, text)
+            self.store_put("print", key, text)
         return text
 
 
@@ -383,7 +551,9 @@ class CompilerDriver:
             program = parse_program(text, name)
         except DescendError as exc:
             session.record(PassTiming(name, PASS_PARSE, time.perf_counter() - start, False))
-            session._store(session._failures, key, _detach_failure(exc))
+            detached = _detach_failure(exc)
+            session._store(session._failures, key, detached)
+            session.store_put("unit", key, ("fail", detached))
             raise
         session.record(PassTiming(name, PASS_PARSE, time.perf_counter() - start, False))
         return self._typecheck(session, program, source, key, name)
@@ -416,14 +586,41 @@ class CompilerDriver:
         start: float,
     ) -> Optional[CompiledProgram]:
         if key in session._failures:
+            session._touch(session._failures, key)
             session.record(
-                PassTiming(unit, pass_name, time.perf_counter() - start, True, "failure")
+                PassTiming(unit, pass_name, time.perf_counter() - start, True, "failure", "memory")
             )
             raise _detach_failure(session._failures[key])
         compiled = session._programs.get(key)
         if compiled is not None:
-            session.record(PassTiming(unit, pass_name, time.perf_counter() - start, True))
-        return compiled
+            session._touch(session._programs, key)
+            session.record(
+                PassTiming(unit, pass_name, time.perf_counter() - start, True, "", "memory")
+            )
+            return compiled
+        # In-memory miss: fall through to the persistent artifact store.  A
+        # unit envelope is ("ok", CompiledProgram) or ("fail", DescendError);
+        # anything else (corrupt, wrong shape) is ignored — cold compile.
+        envelope = session.store_load("unit", key)
+        if isinstance(envelope, tuple) and len(envelope) == 2:
+            status, payload = envelope
+            if status == "fail" and isinstance(payload, DescendError):
+                session._store(session._failures, key, payload)
+                session.record(
+                    PassTiming(
+                        unit, pass_name, time.perf_counter() - start, True, "failure", "store"
+                    )
+                )
+                raise _detach_failure(payload)
+            if status == "ok" and isinstance(payload, CompiledProgram):
+                payload.session = session
+                payload.key = key
+                session._store(session._programs, key, payload)
+                session.record(
+                    PassTiming(unit, pass_name, time.perf_counter() - start, True, "", "store")
+                )
+                return payload
+        return None
 
     def _typecheck(
         self,
@@ -439,7 +636,9 @@ class CompilerDriver:
         except DescendError as exc:
             session.record(PassTiming(unit, PASS_TYPECK, time.perf_counter() - start, False))
             if key is not None:
-                session._store(session._failures, key, _detach_failure(exc))
+                detached = _detach_failure(exc)
+                session._store(session._failures, key, detached)
+                session.store_put("unit", key, ("fail", detached))
             raise
         session.record(PassTiming(unit, PASS_TYPECK, time.perf_counter() - start, False))
         compiled = CompiledProgram(
@@ -452,6 +651,9 @@ class CompilerDriver:
         )
         if key is not None:
             session._store(session._programs, key, compiled)
+            # Persist a session-free copy: the loading process re-binds the
+            # session (and key) when it pulls the program back out.
+            session.store_put("unit", key, ("ok", replace(compiled, key=None, session=None)))
         return compiled
 
     @staticmethod

@@ -1,0 +1,411 @@
+"""The on-disk content-addressed artifact store (CAS).
+
+Layout under the store root::
+
+    <root>/
+        schema.json          # {"format": 1, "schema": "<pipeline fingerprint>"}
+        index.json           # {"entries": {digest: {"size", "used", "kind"}}}
+        lock                 # fcntl advisory lock serializing index mutations
+        objects/ab/abcdef…   # one pickle blob per artifact, named by digest
+
+Design points, in the order they matter:
+
+* **Content addressing.**  Objects are immutable and named by the digest the
+  compiler derives from the artifact's *inputs* (source hash / AST pickle +
+  artifact kind), so concurrent writers of the same compilation write the
+  same bytes to the same name — last rename wins, both are correct.
+
+* **Crash/corruption safety.**  Blob and index writes go through
+  ``tempfile + os.replace`` (atomic on POSIX).  Reads trust nothing:
+  a truncated, corrupted, or unreadable blob is treated as a miss (and
+  deleted best-effort), never an error — the caller falls back to a cold
+  compile.  A corrupted index is rebuilt by scanning ``objects/``.
+
+* **Concurrency.**  Index read-modify-write cycles hold an ``fcntl.flock``
+  on ``<root>/lock``.  Blob reads take no lock (immutable names); a reader
+  racing an eviction simply misses.
+
+* **Eviction.**  The index records a last-used stamp per entry; when the
+  store exceeds ``max_bytes``, least-recently-used entries are evicted
+  until it fits (:meth:`ArtifactStore.gc`, also run after every write).
+
+* **Self-invalidation.**  ``schema.json`` pins the
+  :func:`~repro.descend.store.fingerprint.pipeline_fingerprint` of the
+  compiler that filled the store.  Opening a store written by a different
+  compiler build (or Python version, or store format) wipes it — stale
+  artifacts can never leak across compiler changes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from repro.descend.store.fingerprint import STORE_FORMAT, pipeline_fingerprint
+
+try:  # pragma: no cover - POSIX everywhere we run; degrade gracefully elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+#: Default size bound of a store: plenty for every Figure 8 artifact while
+#: staying far below what a CI cache is willing to persist.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Pinned pickle wire protocol (participates in the schema fingerprint).
+PICKLE_PROTOCOL = 4
+
+
+class ArtifactStore:
+    """A persistent, size-bounded, multi-process-safe artifact cache.
+
+    The store maps hex digests to pickled compiler artifacts.  It is a pure
+    cache: every operation degrades to a miss (``load`` → ``None``,
+    ``store`` → ``False``) instead of raising, so a broken disk, a hostile
+    blob, or a racing process can never take compilation down with it.
+    """
+
+    def __init__(
+        self,
+        root: os.PathLike | str,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        schema: Optional[str] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.max_bytes = max(0, int(max_bytes))
+        self.schema = schema if schema is not None else pipeline_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.evictions = 0
+        self.errors = 0
+        self._pending_touches: Dict[str, float] = {}
+        self._touch_flushed = False
+        self._ensure_layout()
+
+    # -- layout ----------------------------------------------------------------
+    @property
+    def _objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def _index_path(self) -> Path:
+        return self.root / "index.json"
+
+    @property
+    def _schema_path(self) -> Path:
+        return self.root / "schema.json"
+
+    @property
+    def _tmp_dir(self) -> Path:
+        # In-flight writes stage here, *outside* objects/, so gc's stray-file
+        # sweep can never delete a tmp file a concurrent writer is about to
+        # os.replace into place (same filesystem, so the rename stays atomic).
+        return self.root / "tmp"
+
+    def _object_path(self, digest: str) -> Path:
+        return self._objects_dir / digest[:2] / digest
+
+    def _ensure_layout(self) -> None:
+        self._objects_dir.mkdir(parents=True, exist_ok=True)
+        self._tmp_dir.mkdir(parents=True, exist_ok=True)
+        with self._locked():
+            if not self._schema_matches():
+                self._wipe_objects()
+                self._write_json(self._index_path, {"entries": {}})
+                self._write_json(
+                    self._schema_path,
+                    {"format": STORE_FORMAT, "schema": self.schema},
+                )
+
+    def _schema_matches(self) -> bool:
+        try:
+            with open(self._schema_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+            return (
+                isinstance(meta, dict)
+                and meta.get("format") == STORE_FORMAT
+                and meta.get("schema") == self.schema
+            )
+        except (OSError, ValueError):
+            return False
+
+    def _wipe_objects(self) -> None:
+        for path in self._objects_dir.rglob("*"):
+            if path.is_file():
+                with contextlib.suppress(OSError):
+                    path.unlink()
+
+    # -- locking & index -------------------------------------------------------
+    @contextlib.contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Hold the store's advisory lock (no-op where flock is unavailable)."""
+        if fcntl is None:  # pragma: no cover
+            yield
+            return
+        lock_path = self.root / "lock"
+        with open(lock_path, "a+b") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def _load_index(self) -> Dict[str, Dict[str, object]]:
+        """The index's entry table (pending LRU stamps applied); rebuilt
+        from ``objects/`` if unreadable.
+
+        Entries are sanitized field by field — a JSON-valid index with
+        wrong-typed fields (hand edits, foreign tools) must degrade like any
+        other corruption, not raise ``ValueError`` out of the numeric
+        conversions downstream (eviction sorts, size sums)."""
+        try:
+            with open(self._index_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if not isinstance(data, dict):
+                raise ValueError("index must be an object")
+            raw = data["entries"]
+            if not isinstance(raw, dict):
+                raise ValueError("index entries must be an object")
+            entries: Dict[str, Dict[str, object]] = {}
+            for digest, entry in raw.items():
+                if not (isinstance(digest, str) and self._is_digest(digest)):
+                    continue
+                if not isinstance(entry, dict):
+                    continue
+                try:
+                    entries[digest] = {
+                        "size": int(entry.get("size", 0)),
+                        "used": float(entry.get("used", 0.0)),
+                        "kind": str(entry.get("kind", "artifact")),
+                    }
+                except (TypeError, ValueError):
+                    entries[digest] = {"size": 0, "used": 0.0, "kind": "artifact"}
+            if not entries and raw:
+                raise ValueError("no usable index entries")
+        except (OSError, ValueError, KeyError):
+            entries = self._rebuild_entries()
+        for digest, stamp in self._pending_touches.items():
+            entry = entries.get(digest)
+            if entry is not None and stamp > float(entry.get("used", 0.0)):
+                entry["used"] = stamp
+        return entries
+
+    def _save_index(self, entries: Dict[str, Dict[str, object]]) -> None:
+        self._write_json(self._index_path, {"entries": entries})
+        self._pending_touches.clear()
+
+    @staticmethod
+    def _is_digest(name: str) -> bool:
+        return len(name) == 64 and all(c in "0123456789abcdef" for c in name)
+
+    def _rebuild_entries(self) -> Dict[str, Dict[str, object]]:
+        """Recover the entry table by scanning the (authoritative) blobs.
+
+        Only digest-named files count: orphaned ``.tmp-*`` files from a
+        writer killed mid-:meth:`_atomic_write` must not be adopted as
+        entries (their digest would never resolve back to their path).
+        """
+        entries: Dict[str, Dict[str, object]] = {}
+        now = time.time()
+        for path in self._objects_dir.rglob("*"):
+            if path.is_file() and self._is_digest(path.name):
+                with contextlib.suppress(OSError):
+                    entries[path.name] = {
+                        "size": path.stat().st_size,
+                        "used": now,
+                        "kind": "artifact",
+                    }
+        return entries
+
+    def _write_json(self, path: Path, payload: Dict[str, object]) -> None:
+        self._atomic_write(path, json.dumps(payload, indent=1).encode("utf-8"))
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        self._tmp_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=str(self._tmp_dir), prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, path)
+        except OSError:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+
+    def _evict_over_budget(
+        self, entries: Dict[str, Dict[str, object]], keep: Optional[str] = None
+    ) -> None:
+        """Drop least-recently-used entries until the store fits its budget."""
+        total = sum(int(entry.get("size", 0)) for entry in entries.values())
+        if total <= self.max_bytes:
+            return
+        by_age = sorted(entries, key=lambda d: float(entries[d].get("used", 0.0)))
+        for digest in by_age:
+            if total <= self.max_bytes:
+                break
+            if digest == keep:
+                continue
+            total -= int(entries[digest].get("size", 0))
+            del entries[digest]
+            with contextlib.suppress(OSError):
+                self._object_path(digest).unlink()
+            self.evictions += 1
+
+    # -- public API ------------------------------------------------------------
+    def load(self, digest: str) -> Optional[object]:
+        """The artifact stored under ``digest``, or ``None`` on any failure."""
+        path = self._object_path(digest)
+        try:
+            with open(path, "rb") as handle:
+                artifact = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated blob, corrupted pickle, unimportable class, … — the
+            # store is a cache, so treat every failure as a miss and drop the
+            # poisoned blob so the next write can heal it.
+            self.errors += 1
+            self.misses += 1
+            self._forget(digest)
+            return None
+        self.hits += 1
+        self._touch(digest)
+        return artifact
+
+    def store(self, digest: str, artifact: object, kind: str = "artifact") -> bool:
+        """Persist ``artifact`` under ``digest``; ``False`` on any failure."""
+        try:
+            blob = pickle.dumps(artifact, protocol=PICKLE_PROTOCOL)
+        except Exception:
+            return False  # unpicklable artifacts simply stay in-memory-only
+        try:
+            path = self._object_path(digest)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._atomic_write(path, blob)
+            with self._locked():
+                entries = self._load_index()
+                entries[digest] = {"size": len(blob), "used": time.time(), "kind": kind}
+                self._evict_over_budget(entries, keep=digest)
+                self._save_index(entries)
+        except OSError:
+            self.errors += 1
+            return False
+        self.writes += 1
+        return True
+
+    #: Batch size after which pending LRU stamps are flushed to the index.
+    TOUCH_FLUSH_PENDING = 16
+    #: Age after which a staging file counts as left behind by a dead writer.
+    TMP_STALE_S = 3600.0
+
+    def _touch(self, digest: str) -> None:
+        """Refresh the LRU stamp of a hit.
+
+        Stamps are batched in memory and merged into the index by every
+        index write (:meth:`_load_index` applies them, :meth:`_save_index`
+        clears them), so a warm process does one index rewrite on its first
+        hit — which also heals a corrupted index — and then one per
+        :data:`TOUCH_FLUSH_PENDING` loads, instead of one per load.
+        """
+        self._pending_touches[digest] = time.time()
+        if not self._touch_flushed or len(self._pending_touches) >= self.TOUCH_FLUSH_PENDING:
+            self._flush_touches()
+
+    def _flush_touches(self) -> None:
+        try:
+            with self._locked():
+                self._save_index(self._load_index())
+            self._touch_flushed = True
+        except OSError:  # pragma: no cover - stamp refresh is best-effort
+            self.errors += 1
+
+    def _forget(self, digest: str) -> None:
+        """Drop one (broken) entry and its blob (best-effort)."""
+        with contextlib.suppress(OSError):
+            self._object_path(digest).unlink()
+        try:
+            with self._locked():
+                entries = self._load_index()
+                if entries.pop(digest, None) is not None:
+                    self._save_index(entries)
+        except OSError:  # pragma: no cover
+            self.errors += 1
+
+    def gc(self, max_bytes: Optional[int] = None) -> Dict[str, object]:
+        """Reconcile the index with the blobs and enforce the size budget.
+
+        Orphaned blobs (present on disk, absent from the index) are adopted,
+        dangling entries (indexed, blob gone) dropped, stray files (foreign
+        junk under ``objects/``, stale staging files from killed writers)
+        deleted, then LRU eviction brings the store under ``max_bytes``
+        (default: the store's budget).
+        """
+        if max_bytes is not None:
+            self.max_bytes = max(0, int(max_bytes))
+        with self._locked():
+            for path in self._objects_dir.rglob("*"):
+                if path.is_file() and not self._is_digest(path.name):
+                    with contextlib.suppress(OSError):
+                        path.unlink()
+            # Staging files are only swept once stale: a live writer's tmp
+            # file (pre-os.replace) must survive a concurrent gc.
+            stale_before = time.time() - self.TMP_STALE_S
+            for path in self._tmp_dir.glob("*"):
+                with contextlib.suppress(OSError):
+                    if path.is_file() and path.stat().st_mtime < stale_before:
+                        path.unlink()
+            entries = self._load_index()
+            on_disk = self._rebuild_entries()
+            for digest in list(entries):
+                if digest not in on_disk:
+                    del entries[digest]
+            for digest, entry in on_disk.items():
+                if digest not in entries:
+                    entries[digest] = entry
+                else:
+                    entries[digest]["size"] = entry["size"]
+            self._evict_over_budget(entries)
+            self._save_index(entries)
+            return self._summary(entries)
+
+    def clear(self) -> None:
+        """Delete every artifact (the layout and schema stay in place)."""
+        with self._locked():
+            self._wipe_objects()
+            self._save_index({})
+
+    def stats(self) -> Dict[str, object]:
+        with self._locked():
+            entries = self._load_index()
+        summary = self._summary(entries)
+        summary.update(
+            hits=self.hits,
+            misses=self.misses,
+            writes=self.writes,
+            evictions=self.evictions,
+            errors=self.errors,
+        )
+        return summary
+
+    def _summary(self, entries: Dict[str, Dict[str, object]]) -> Dict[str, object]:
+        kinds: Dict[str, int] = {}
+        for entry in entries.values():
+            kind = str(entry.get("kind", "artifact"))
+            kinds[kind] = kinds.get(kind, 0) + 1
+        return {
+            "root": str(self.root),
+            "format": STORE_FORMAT,
+            "schema": self.schema[:16],
+            "entries": len(entries),
+            "total_bytes": sum(int(entry.get("size", 0)) for entry in entries.values()),
+            "max_bytes": self.max_bytes,
+            "kinds": kinds,
+        }

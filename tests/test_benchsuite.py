@@ -189,3 +189,131 @@ class TestReport:
         assert format_bytes(512) == "512.0 B"
         assert format_bytes(2048) == "2.0 KiB"
         assert "MiB" in format_bytes(8 * 1024 * 1024)
+
+
+class TestBudgetGuard:
+    def test_budget_skips_reference_column(self, tmp_path):
+        result = run_descend_engine_bench(
+            benchmarks=("transpose",), rows=(("small", 1),), budget_s=0.0
+        )
+        row = result.rows[0]
+        assert row.skipped == "budget"
+        assert row.reference_cycles is None and row.reference_wall_s is None
+        assert row.cycles_match is None and row.speedup is None
+        assert row.vectorized_cycles > 0
+        assert row.as_dict()["skipped"] == "budget"
+        # Skipped rows are excluded from the aggregates and the parity gate.
+        assert result.all_cycles_match
+        assert math.isnan(result.geometric_mean_speedup)
+        assert result.as_dict()["skipped_rows"] == 1
+        assert "skip:budget" in result.to_table()
+        payload = write_report(result, str(tmp_path / "BENCH_skip.json"), quick=True)
+        assert payload["workloads"][0]["skipped"] == "budget"
+        # An all-skipped sweep must still serialize to *valid* JSON: the
+        # NaN aggregates become null, never a bare NaN token.
+        text = (tmp_path / "BENCH_skip.json").read_text()
+        assert "NaN" not in text and "Infinity" not in text
+        strict = json.loads(text, parse_constant=lambda c: pytest.fail(f"non-JSON constant {c}"))
+        assert strict["geometric_mean_speedup"] is None
+        assert strict["min_speedup"] is None
+        assert strict["workloads"][0]["speedup"] is None
+
+    def test_generous_budget_runs_reference_column(self):
+        result = run_descend_engine_bench(
+            benchmarks=("transpose",), rows=(("small", 1),), budget_s=1e9
+        )
+        assert result.rows[0].skipped is None
+        assert result.rows[0].cycles_match
+
+    def test_default_rows_cover_large_and_scale_16(self):
+        from repro.benchsuite.enginebench import DESCEND_ROWS
+
+        assert ("small", 16) in DESCEND_ROWS
+        assert ("large", 8) in DESCEND_ROWS
+
+    def test_budget_estimate_is_deterministic(self):
+        from repro.benchsuite.enginebench import (
+            REF_SECONDS_PER_CYCLE,
+            estimate_reference_wall_s,
+        )
+
+        assert estimate_reference_wall_s(1000.0) == 1000.0 * REF_SECONDS_PER_CYCLE
+
+    def test_default_budget_from_environment(self, monkeypatch):
+        from repro.benchsuite.enginebench import DEFAULT_REF_BUDGET_S, default_budget_s
+
+        monkeypatch.setenv("REPRO_BENCH_BUDGET_S", "12.5")
+        assert default_budget_s() == 12.5
+        monkeypatch.setenv("REPRO_BENCH_BUDGET_S", "not-a-number")
+        assert default_budget_s() == DEFAULT_REF_BUDGET_S
+
+
+class TestSweepOrchestrator:
+    def test_parallel_rows_match_serial_modulo_timing(self, tmp_path):
+        """The --jobs sweep must reproduce the serial report byte-for-byte
+        up to wall-clock fields (the ISSUE acceptance criterion)."""
+        kwargs = dict(benchmarks=("reduce", "transpose"), rows=(("small", 1),), repeats=1)
+        serial = run_descend_engine_bench(**kwargs)
+        parallel = run_descend_engine_bench(
+            **kwargs, jobs=2, store_path=str(tmp_path / "store")
+        )
+
+        def stable(row):
+            drop = ("reference_wall_s", "vectorized_wall_s", "speedup")
+            return {k: v for k, v in row.as_dict().items() if k not in drop}
+
+        assert [stable(r) for r in serial.rows] == [stable(r) for r in parallel.rows]
+        assert parallel.kind == serial.kind == "descend-engine-bench"
+        # The workers warmed the shared artifact store.
+        from repro.descend.store import ArtifactStore
+
+        assert ArtifactStore(tmp_path / "store").stats()["entries"] > 0
+
+    def test_serial_sweep_warms_the_store_too(self, tmp_path):
+        from repro.descend.driver import session_scope
+        from repro.descend.store import ArtifactStore
+
+        with session_scope():
+            run_descend_engine_bench(
+                benchmarks=("transpose",), rows=(("small", 1),), budget_s=0.0,
+                store_path=str(tmp_path / "store"),
+            )
+        assert ArtifactStore(tmp_path / "store").stats()["entries"] > 0
+
+    def test_serial_sweep_uses_the_requested_store_not_the_active_one(self, tmp_path):
+        from repro.descend.driver import CompileSession, active_session, session_scope
+        from repro.descend.store import ArtifactStore
+
+        store_a = ArtifactStore(tmp_path / "a")
+        with session_scope(CompileSession().attach_store(store_a)):
+            run_descend_engine_bench(
+                benchmarks=("transpose",), rows=(("small", 1),), budget_s=0.0,
+                store_path=str(tmp_path / "b"),
+            )
+            # The sweep warmed /b (the explicit request), not the session's
+            # /a, and did not leave its store attached to the active session.
+            assert active_session().store is store_a
+        assert ArtifactStore(tmp_path / "b").stats()["entries"] > 0
+        assert store_a.stats()["entries"] == 0
+
+    def test_worker_failure_aborts_the_sweep(self):
+        from repro.benchsuite.sweep import make_cells, run_cells
+
+        cells = make_cells("descend", [("no-such-benchmark", "small", 1)], 1, None)
+        with pytest.raises(BenchmarkError, match="no-such-benchmark"):
+            run_cells(cells, jobs=2)
+
+    def test_make_cells_preserves_sweep_order(self):
+        from repro.benchsuite.sweep import make_cells
+
+        cells = make_cells("cudalite", [("reduce", "small", None), ("scan", "medium", 2)], 3, 1.5)
+        assert [c["index"] for c in cells] == [0, 1]
+        assert cells[1] == {
+            "index": 1,
+            "variant": "cudalite",
+            "benchmark": "scan",
+            "size": "medium",
+            "scale": 2,
+            "repeats": 3,
+            "budget_s": 1.5,
+        }

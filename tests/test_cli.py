@@ -157,3 +157,43 @@ def test_bench_compile_writes_report(tmp_path, capsys):
     assert programs == {"scale_vec", "reduce", "transpose", "scan", "matmul"}
     for row in payload["programs"]:
         assert row["cold_total_s"] > row["cached_total_s"]
+
+
+def test_bench_descend_jobs_matches_serial_shape(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "BENCH_jobs.json"
+    store = tmp_path / "store"
+    assert main([
+        "bench", "--descend", "--benchmarks", "transpose", "--scales", "1",
+        "--jobs", "2", "--store", str(store), "--output", str(out_path),
+    ]) == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["kind"] == "descend-engine-bench"
+    assert payload["all_cycles_match"] is True
+    assert payload["workloads"][0]["skipped"] is None
+    assert payload["workloads"][0]["cycles_match"] is True
+    # The sweep workers warmed the shared persistent store.
+    capsys.readouterr()
+    assert main(["cache", "stats", "--json", "--store", str(store)]) == 0
+    assert json.loads(capsys.readouterr().out)["entries"] > 0
+
+
+def test_bench_descend_budget_skips_reference(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "BENCH_budget.json"
+    assert main([
+        "bench", "--descend", "--benchmarks", "reduce", "--scales", "1",
+        "--budget", "0", "--output", str(out_path),
+    ]) == 0
+    payload = json.loads(out_path.read_text())
+    row = payload["workloads"][0]
+    assert row["skipped"] == "budget"
+    assert row["reference_cycles"] is None
+    assert row["vectorized_cycles"] > 0
+
+
+def test_bench_compile_rejects_jobs(capsys):
+    assert main(["bench", "--compile", "--jobs", "2"]) == 2
+    assert "--jobs" in capsys.readouterr().err

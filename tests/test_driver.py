@@ -135,6 +135,26 @@ class TestSessionCache:
             driver.compile_program(vector.build_scale_program(n=n, block_size=32))
         assert session.stats()["programs"] == 4
 
+    def test_session_eviction_is_lru_not_fifo(self):
+        """A hot program must survive eviction even if it was inserted first."""
+        session = CompileSession()
+        session.MAX_UNITS = 2
+        driver = CompilerDriver(session)
+        hot = lambda: vector.build_scale_program(n=32, block_size=32)  # noqa: E731
+        cold = lambda: vector.build_scale_program(n=64, block_size=32)  # noqa: E731
+        driver.compile_program(hot())
+        driver.compile_program(cold())
+        driver.compile_program(hot())  # recency bump: hot is now MRU
+        # Inserting a third program evicts the *least recently used* (cold),
+        # not the oldest-inserted (hot).
+        driver.compile_program(vector.build_scale_program(n=96, block_size=32))
+        hits = session.hits
+        driver.compile_program(hot())
+        assert session.hits == hits + 1  # still cached
+        misses = session.misses
+        driver.compile_program(cold())
+        assert session.misses == misses + 1  # was evicted, recompiles
+
     def test_session_scope_isolates_active_session(self):
         outer = active_session()
         with session_scope() as scoped:

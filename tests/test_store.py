@@ -1,0 +1,446 @@
+"""Tests for the persistent content-addressed artifact store.
+
+Covers the tentpole guarantees of `repro.descend.store`:
+
+* a second session against a warm store runs **zero** compute passes and
+  reproduces every artifact byte-for-byte (CUDA, pretty-print, diagnostics);
+* robustness: corrupted/truncated blobs and indexes degrade to cold
+  compiles, never crashes; concurrent writers keep the index intact;
+  a schema bump (compiler change) invalidates the whole store;
+* LRU size-bounded eviction and the `descendc cache` management commands.
+"""
+
+import json
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.descend.driver import CompilerDriver, CompileSession
+from repro.descend.store import STORE_FORMAT, ArtifactStore, pipeline_fingerprint
+from repro.descend_programs import reduce as d_reduce
+from repro.errors import DescendTypeError
+
+DOUBLER = """
+fn doubler(vec: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            vec.group::<32>[[block]][[thread]] =
+                vec.group::<32>[[block]][[thread]] * 2.0
+        }
+    }
+}
+"""
+
+# Every thread writes the same element: rejected by the narrowing check.
+RACY = """
+fn racy(vec: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            vec[0] = 1.0
+        }
+    }
+}
+"""
+
+
+def _warm_session(store_root) -> CompileSession:
+    """A fresh session + store handle, as a new process would build them."""
+    return CompileSession(label="test").attach_store(ArtifactStore(store_root))
+
+
+def _compile_everything(session: CompileSession):
+    """One full pipeline over the doubler: parse, typeck, all lowerings."""
+    compiled = CompilerDriver(session).compile_source(DOUBLER, name="doubler.descend")
+    cuda = compiled.to_cuda().full_source()
+    printed = compiled.to_source()
+    plan, reason = compiled.device_plan("doubler")
+    return compiled, cuda, printed, (plan is not None, reason)
+
+
+class TestWarmStore:
+    def test_second_session_runs_zero_compute_passes(self, tmp_path):
+        _compile_everything(_warm_session(tmp_path / "store"))
+
+        warm = _warm_session(tmp_path / "store")
+        _, _, _, _ = _compile_everything(warm)
+        assert warm.misses == 0
+        assert [t.tier for t in warm.timings] == ["store"] * len(warm.timings)
+        assert all(t.cached for t in warm.timings)
+
+    def test_artifacts_byte_identical_cold_vs_warm(self, tmp_path):
+        _, cold_cuda, cold_printed, cold_plan = _compile_everything(
+            _warm_session(tmp_path / "store")
+        )
+        _, warm_cuda, warm_printed, warm_plan = _compile_everything(
+            _warm_session(tmp_path / "store")
+        )
+        assert warm_cuda == cold_cuda
+        assert warm_printed == cold_printed
+        assert warm_plan == cold_plan
+
+    def test_builder_programs_warm_across_sessions(self, tmp_path):
+        program = d_reduce.build_reduce_program(n=256, block_size=64)
+        cold = _warm_session(tmp_path / "store")
+        CompilerDriver(cold).compile_program(program).device_plan("block_reduce")
+
+        warm = _warm_session(tmp_path / "store")
+        compiled = CompilerDriver(warm).compile_program(
+            d_reduce.build_reduce_program(n=256, block_size=64)
+        )
+        plan, reason = compiled.device_plan("block_reduce")
+        assert warm.misses == 0
+        assert plan is not None and reason is None
+        # Device plans are closures: they persist as outcome stubs and are
+        # rehydrated by re-lowering, which must not count as a cold compile.
+        assert warm.plan_compiles == 0
+
+    def test_failures_warm_with_identical_diagnostics(self, tmp_path):
+        def diagnose(session):
+            with pytest.raises(DescendTypeError) as excinfo:
+                CompilerDriver(session).compile_source(RACY, name="racy.descend")
+            diagnostic = excinfo.value.diagnostic
+            return diagnostic.render(None) if diagnostic is not None else str(excinfo.value)
+
+        cold_rendered = diagnose(_warm_session(tmp_path / "store"))
+        warm = _warm_session(tmp_path / "store")
+        warm_rendered = diagnose(warm)
+        assert warm_rendered == cold_rendered
+        assert warm.misses == 0
+        assert warm.timings[0].tier == "store"
+
+    def test_store_stats_reported_through_session(self, tmp_path):
+        session = _warm_session(tmp_path / "store")
+        _compile_everything(session)
+        stats = session.stats()["store"]
+        assert stats["entries"] > 0
+        assert stats["writes"] > 0
+        assert set(stats["kinds"]) == {"unit", "cuda", "print", "plan"}
+        assert "store hits" in session.timings_table()
+
+
+class TestRobustness:
+    def _blobs(self, root):
+        return sorted(p for p in (root / "objects").rglob("*") if p.is_file())
+
+    def test_corrupted_blobs_fall_back_to_cold_compile(self, tmp_path):
+        root = tmp_path / "store"
+        _, cold_cuda, _, _ = _compile_everything(_warm_session(root))
+        for blob in self._blobs(root):
+            blob.write_bytes(b"\x80\x04garbage not a pickle")
+
+        warm = _warm_session(root)
+        _, cuda, _, _ = _compile_everything(warm)
+        assert cuda == cold_cuda
+        assert warm.misses > 0  # cold compile, not a crash
+        assert warm.store.errors > 0
+
+    def test_truncated_blobs_fall_back_to_cold_compile(self, tmp_path):
+        root = tmp_path / "store"
+        _compile_everything(_warm_session(root))
+        for blob in self._blobs(root):
+            blob.write_bytes(blob.read_bytes()[: max(1, blob.stat().st_size // 3)])
+
+        warm = _warm_session(root)
+        compiled, _, _, _ = _compile_everything(warm)
+        assert compiled.checked is not None
+        # The poisoned blobs are healed: a third session is fully warm again.
+        healed = _warm_session(root)
+        _compile_everything(healed)
+        assert healed.misses == 0
+
+    def test_corrupt_index_is_rebuilt_from_blobs(self, tmp_path):
+        root = tmp_path / "store"
+        _compile_everything(_warm_session(root))
+        (root / "index.json").write_text("{ not json !!!")
+
+        warm = _warm_session(root)
+        _compile_everything(warm)
+        assert warm.misses == 0  # blobs are authoritative; entries recovered
+        entries = json.loads((root / "index.json").read_text())["entries"]
+        assert len(entries) == len(self._blobs(root))
+
+    def test_hostile_envelope_shape_is_ignored(self, tmp_path):
+        root = tmp_path / "store"
+        session = _warm_session(root)
+        driver = CompilerDriver(session)
+        driver.compile_source(DOUBLER, name="doubler.descend")
+        digest = session.artifact_digest(
+            "unit", session.source_key(DOUBLER, "doubler.descend")
+        )
+        path = session.store._object_path(digest)
+        path.write_bytes(pickle.dumps(("ok", "not a CompiledProgram"), protocol=4))
+
+        warm = _warm_session(root)
+        compiled = CompilerDriver(warm).compile_source(DOUBLER, name="doubler.descend")
+        assert compiled.checked is not None  # wrong-shape envelope → cold compile
+
+    def test_schema_bump_invalidates_cleanly(self, tmp_path):
+        root = tmp_path / "store"
+        old = ArtifactStore(root, schema="compiler-v1")
+        old.store("ab" * 32, {"payload": 1})
+        assert ArtifactStore(root, schema="compiler-v1").load("ab" * 32) is not None
+
+        bumped = ArtifactStore(root, schema="compiler-v2")
+        assert bumped.load("ab" * 32) is None
+        assert bumped.stats()["entries"] == 0
+        meta = json.loads((root / "schema.json").read_text())
+        assert meta == {"format": STORE_FORMAT, "schema": "compiler-v2"}
+
+    def test_default_schema_is_the_pipeline_fingerprint(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        assert store.schema == pipeline_fingerprint()
+        assert len(store.schema) == 64
+
+    def test_concurrent_writers_keep_the_index_intact(self, tmp_path):
+        root = tmp_path / "store"
+        script = (
+            "import sys\n"
+            "from repro.descend.driver import CompilerDriver, CompileSession\n"
+            "from repro.descend.store import ArtifactStore\n"
+            "from repro.descend_programs.vector import build_scale_program\n"
+            "root, start = sys.argv[1], int(sys.argv[2])\n"
+            "session = CompileSession().attach_store(ArtifactStore(root))\n"
+            "driver = CompilerDriver(session)\n"
+            "for n in range(start, start + 4):\n"
+            "    compiled = driver.compile_program(\n"
+            "        build_scale_program(n=32 * (n + 1), block_size=32))\n"
+            "    compiled.to_cuda()\n"
+        )
+        src_dir = str(Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        workers = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(root), str(start)],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                env=env,
+            )
+            for start in (0, 2)  # overlapping ranges: some same-key writes
+        ]
+        for worker in workers:
+            _, stderr = worker.communicate(timeout=120)
+            assert worker.returncode == 0, stderr.decode()
+
+        store = ArtifactStore(root)
+        entries = json.loads((root / "index.json").read_text())["entries"]
+        # 6 distinct programs (ranges 0..3 and 2..5 overlap on 2) × 2 kinds.
+        assert len(entries) == 12
+        assert store.stats()["total_bytes"] > 0
+        for digest in entries:
+            assert store.load(digest) is not None
+
+
+class TestEviction:
+    def test_lru_eviction_respects_recency(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store", max_bytes=1)  # evict on every write
+        store.store("aa" * 32, b"x" * 100)
+        store.store("bb" * 32, b"y" * 100)
+        assert store.load("aa" * 32) is None
+        assert store.load("bb" * 32) is not None
+        assert store.evictions == 1
+
+    def test_gc_enforces_budget_and_reconciles(self, tmp_path):
+        root = tmp_path / "store"
+        store = ArtifactStore(root)
+        for index in range(4):
+            store.store(f"{index:02d}" * 32, b"z" * 1000)
+        store.load("00" * 32)  # refresh: 00 becomes most recently used
+        # Orphan blob (bypassing the index) and a dangling entry (blob gone).
+        orphan = root / "objects" / "ff" / ("ff" * 32)
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_bytes(pickle.dumps("orphan"))
+        (root / "objects" / "01" / ("01" * 32)).unlink()
+
+        summary = store.gc()
+        assert summary["entries"] == 4  # 4 stored - 1 dangling + 1 orphan
+        shrunk = store.gc(max_bytes=2200)
+        assert shrunk["total_bytes"] <= 2200
+        assert store.load("00" * 32) is not None  # most recent survives
+
+    def test_stray_tmp_files_never_become_entries(self, tmp_path):
+        root = tmp_path / "store"
+        store = ArtifactStore(root)
+        store.store("aa" * 32, {"x": 1})
+        # Foreign junk inside objects/ and a staging file from a writer
+        # killed between mkstemp and rename.
+        stray = root / "objects" / "aa" / ".junk"
+        stray.write_bytes(b"partial")
+        stale_tmp = root / "tmp" / ".tmp-killed"
+        stale_tmp.write_bytes(b"partial")
+        os.utime(stale_tmp, (0, 0))  # long dead
+        live_tmp = root / "tmp" / ".tmp-in-flight"
+        live_tmp.write_bytes(b"being written right now")
+        (root / "index.json").unlink()  # force a rebuild from the blobs
+
+        summary = store.gc()
+        assert summary["entries"] == 1  # neither stray was adopted ...
+        assert not stray.exists() and not stale_tmp.exists()  # ... dead ones removed
+        assert live_tmp.exists()  # a concurrent writer's tmp file survives gc
+        assert store.load("aa" * 32) is not None
+
+    def test_wrong_top_level_json_types_degrade_not_raise(self, tmp_path):
+        root = tmp_path / "store"
+        store = ArtifactStore(root)
+        store.store("aa" * 32, {"x": 1})
+        (root / "index.json").write_text("[1, 2]")  # valid JSON, wrong type
+        fresh = ArtifactStore(root)
+        assert fresh.load("aa" * 32) is not None  # rebuilt from blobs
+
+        (root / "schema.json").write_text('"not an object"')
+        reopened = ArtifactStore(root)  # self-invalidates instead of crashing
+        assert reopened.stats()["entries"] == 0
+
+    def test_wrong_typed_index_fields_degrade_not_raise(self, tmp_path):
+        root = tmp_path / "store"
+        store = ArtifactStore(root)
+        store.store("aa" * 32, {"x": 1})
+        index = json.loads((root / "index.json").read_text())
+        index["entries"]["aa" * 32]["used"] = "yesterday"  # hand-edited junk
+        index["entries"]["aa" * 32]["size"] = "big"
+        (root / "index.json").write_text(json.dumps(index))
+
+        fresh = ArtifactStore(root)
+        assert fresh.load("aa" * 32) is not None  # no ValueError anywhere
+        assert fresh.store("bb" * 32, {"y": 2})  # eviction math survives too
+        assert fresh.gc()["entries"] == 2
+
+    def test_clear_empties_the_store(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.store("aa" * 32, {"x": 1})
+        store.clear()
+        assert store.stats()["entries"] == 0
+        assert store.load("aa" * 32) is None
+
+
+class TestCacheCli:
+    def test_cache_requires_a_store_path(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert cli_main(["cache", "stats"]) == 2
+        assert "REPRO_STORE" in capsys.readouterr().err
+
+    def test_cache_stats_clear_gc(self, tmp_path, capsys):
+        store_arg = ["--store", str(tmp_path / "store")]
+        good = tmp_path / "good.descend"
+        good.write_text(DOUBLER)
+        assert cli_main(["check", str(good), *store_arg]) == 0
+        capsys.readouterr()
+
+        assert cli_main(["cache", "stats", "--json", *store_arg]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] > 0 and stats["format"] == STORE_FORMAT
+
+        assert cli_main(["cache", "gc", "--json", *store_arg]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == stats["entries"]
+
+        assert cli_main(["cache", "clear", *store_arg]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert cli_main(["cache", "stats", "--json", *store_arg]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_unusable_store_path_is_a_clean_error(self, tmp_path, capsys):
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("occupied")
+        good = tmp_path / "good.descend"
+        good.write_text(DOUBLER)
+        assert cli_main(["check", str(good), "--store", str(not_a_dir)]) == 2
+        assert "cannot open artifact store" in capsys.readouterr().err
+        assert cli_main(["cache", "stats", "--store", str(not_a_dir)]) == 2
+        assert "cannot open artifact store" in capsys.readouterr().err
+
+    def test_cli_store_env_var(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
+        good = tmp_path / "good.descend"
+        good.write_text(DOUBLER)
+        assert cli_main(["check", str(good)]) == 0
+        capsys.readouterr()
+        assert cli_main(["cache", "stats", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] > 0
+
+    def test_warm_cli_invocation_reports_zero_misses(self, tmp_path, capsys):
+        store_arg = ["--store", str(tmp_path / "store")]
+        good = tmp_path / "warm.descend"
+        good.write_text(DOUBLER)
+        out_cold = tmp_path / "cold.cu"
+        out_warm = tmp_path / "warm.cu"
+        assert cli_main(["compile", str(good), "-o", str(out_cold), *store_arg]) == 0
+        capsys.readouterr()
+
+        # Fresh session, as a second OS process would have: zero compile
+        # passes, byte-identical CUDA (the ISSUE acceptance criterion).
+        from repro import cli as cli_module
+
+        fresh = CompileSession(label="cli")
+        cli_module._SESSION = fresh
+        cli_module._DRIVER = CompilerDriver(fresh)
+        assert cli_main(
+            ["compile", str(good), "-o", str(out_warm), "--timings", *store_arg]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "misses 0" in err
+        assert "store hits" in err
+        assert out_warm.read_bytes() == out_cold.read_bytes()
+
+
+class TestUnsupportedPlanPersistence:
+    def test_fallback_reason_persists_without_relowering(self, tmp_path):
+        from repro.descend.builder import (
+            F64,
+            GPU_GLOBAL,
+            array,
+            assign,
+            block,
+            body,
+            dim_x,
+            fun,
+            gpu_grid_spec,
+            if_,
+            lit_bool,
+            param,
+            program,
+            read,
+            sched,
+            sync,
+            uniq_ref,
+            var,
+        )
+
+        elem = var("vec").view("group", 32).select("block").select("thread")
+        kernel_def = fun(
+            "guarded_sync",
+            [param("vec", uniq_ref(GPU_GLOBAL, array(F64, 64)))],
+            gpu_grid_spec("grid", dim_x(2), dim_x(32)),
+            body(
+                sched(
+                    "X",
+                    "block",
+                    "grid",
+                    sched(
+                        "X",
+                        "thread",
+                        "block",
+                        if_(lit_bool(True), block(sync())),
+                        assign(elem, read(elem)),
+                    ),
+                )
+            ),
+        )
+        cold = _warm_session(tmp_path / "store")
+        plan, reason = (
+            CompilerDriver(cold).compile_program(program(kernel_def)).device_plan("guarded_sync")
+        )
+        assert plan is None and reason
+
+        warm = _warm_session(tmp_path / "store")
+        warm_plan, warm_reason = (
+            CompilerDriver(warm).compile_program(program(kernel_def)).device_plan("guarded_sync")
+        )
+        assert warm_plan is None
+        assert warm_reason == reason
+        assert warm.plan_compiles == 0  # the reason came straight from the store
+        assert warm.misses == 0

@@ -15,7 +15,11 @@ session cache buys:
 * a **cached** run repeats the identical compile in the same session and
   must hit the content-addressed cache for every pass;
 * diagnostics and generated CUDA are digested (sha256) in both runs — a
-  digest mismatch aborts: the cache must be semantically invisible.
+  digest mismatch aborts: the cache must be semantically invisible;
+* device plans are data-driven IR and serialize: every row records the
+  pickled size of the program's plans (``plan_bytes``) and the wall-clock
+  of deserializing them back (``plan_deserialize_s``) — the cost a warm
+  process pays instead of the ``lower.plan`` re-lowering it used to run.
 
 ``python -m repro.cli bench --compile`` writes ``BENCH_compile_time.json``
 (uploaded by the CI bench-smoke job), extending the repo's BENCH_*.json
@@ -28,6 +32,7 @@ import argparse
 import hashlib
 import json
 import math
+import pickle
 import sys
 import time
 from dataclasses import dataclass, field
@@ -71,6 +76,10 @@ class CompileBenchRow:
     cached_pass_s: Dict[str, float]
     diagnostics_digest: str
     cuda_digest: str
+    #: Pickled size of every device plan of the program (the bytes a warm
+    #: store ships to a worker) and the wall-clock of loading them back.
+    plan_bytes: int = 0
+    plan_deserialize_s: float = 0.0
 
     @property
     def cold_total_s(self) -> float:
@@ -96,6 +105,8 @@ class CompileBenchRow:
             "speedup": self.speedup,
             "diagnostics_digest": self.diagnostics_digest,
             "cuda_digest": self.cuda_digest,
+            "plan_bytes": self.plan_bytes,
+            "plan_deserialize_s": self.plan_deserialize_s,
         }
 
 
@@ -125,11 +136,13 @@ class CompileBenchResult:
             "programs": [row.as_dict() for row in self.rows],
             "geometric_mean_speedup": self.geometric_mean_speedup,
             "min_speedup": self.min_speedup,
+            "total_plan_bytes": sum(row.plan_bytes for row in self.rows),
         }
 
     def to_table(self) -> str:
         table = format_table(
-            ["program", "parse", "typeck", "lower", "cold total", "cached total", "speedup"],
+            ["program", "parse", "typeck", "lower", "cold total", "cached total",
+             "speedup", "plan bytes", "plan deser"],
             [
                 (
                     row.program,
@@ -139,6 +152,8 @@ class CompileBenchResult:
                     f"{row.cold_total_s * 1e3:.2f} ms",
                     f"{row.cached_total_s * 1e3:.3f} ms",
                     f"{row.speedup:.0f}x",
+                    row.plan_bytes,
+                    f"{row.plan_deserialize_s * 1e3:.3f} ms",
                 )
                 for row in self.rows
             ],
@@ -221,13 +236,42 @@ def bench_program(name: str, repeats: int = 3) -> CompileBenchRow:
         raise BenchmarkError(
             f"{name}: generated CUDA differs between cold and cached compiles"
         )
+    plan_bytes, plan_deserialize_s = _measure_plan_serialization(driver, name, text, repeats)
     return CompileBenchRow(
         program=name,
         cold_pass_s=dict(cold_best["passes"]),
         cached_pass_s=dict(cached_best["passes"]),
         diagnostics_digest=str(cold_best["diagnostics"]),
         cuda_digest=str(cold_best["cuda"]),
+        plan_bytes=plan_bytes,
+        plan_deserialize_s=plan_deserialize_s,
     )
+
+
+def _measure_plan_serialization(
+    driver: CompilerDriver, name: str, text: str, repeats: int
+):
+    """Pickled size of the program's device plans + best-of-N reload time.
+
+    This is the warm-start trajectory the serializable plan IR buys: a warm
+    process pays one ``pickle.loads`` per plan instead of re-running the
+    ``lower.plan`` pass, and the blob sizes bound what the artifact store
+    (and the CI cache) carries per program.
+    """
+    compiled = driver.compile_source(text, name=f"{name}.descend")
+    blobs = []
+    for fun_name in compiled.gpu_function_names():
+        plan, _reason = compiled.device_plan(fun_name)
+        if plan is not None:
+            blobs.append(pickle.dumps(plan, protocol=4))
+    plan_bytes = sum(len(blob) for blob in blobs)
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        for blob in blobs:
+            pickle.loads(blob)
+        best = min(best, time.perf_counter() - start)
+    return plan_bytes, (best if blobs else 0.0)
 
 
 def run_compile_bench(

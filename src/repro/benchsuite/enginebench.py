@@ -12,8 +12,7 @@ twice — once per execution engine — and reports
 
 Two variants are covered: the handwritten CUDA-lite kernels (the default)
 and, with ``--descend``, the Descend programs executed through the
-interpreter's device-plan compiler
-(:mod:`repro.descend.interp.vectorize`).  The Descend variant additionally
+device-plan compiler (:mod:`repro.descend.plan`).  The Descend variant additionally
 sweeps workload *scales* (``--scales 1 4``) to record the interpreter's
 scaling headroom; its report is written to ``BENCH_descend_engine.json``.
 
@@ -154,9 +153,17 @@ class EngineBenchRow:
 
 @dataclass
 class EngineBenchResult:
-    """All benchmarked workloads plus the aggregates CI tracks."""
+    """All benchmarked workloads plus the aggregates CI tracks.
+
+    ``compile_passes`` aggregates the sweep's compiler activity as
+    ``{pass name: {cache tier: count}}`` across every worker (or the serial
+    session): a warm-store sweep must show ``lower.plan`` with only
+    ``store``/``memory`` tiers — zero ``compute`` — which is the
+    cross-process plan-reuse gate.
+    """
 
     rows: List[EngineBenchRow] = field(default_factory=list)
+    compile_passes: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def measured_rows(self) -> List[EngineBenchRow]:
@@ -191,6 +198,7 @@ class EngineBenchResult:
             "geometric_mean_speedup": _json_number(self.geometric_mean_speedup),
             "min_speedup": _json_number(self.min_speedup),
             "skipped_rows": sum(1 for row in self.rows if row.skipped is not None),
+            "compile_passes": self.compile_passes,
         }
 
     def to_table(self) -> str:
@@ -338,9 +346,20 @@ def _run_sweep(
         if progress is not None:
             progress(f"sharding {len(specs)} sweep cells across {jobs} workers ...")
         cells = make_cells(variant, specs, repeats=repeats, budget_s=budget_s)
-        result.rows.extend(run_cells(cells, jobs, store_path=store_path, progress=progress))
+        result.rows.extend(
+            run_cells(
+                cells, jobs, store_path=store_path, progress=progress,
+                pass_totals=result.compile_passes,
+            )
+        )
         return result
+
     def run_serial() -> None:
+        from repro.benchsuite.sweep import merge_pass_totals
+        from repro.descend.driver import active_session
+
+        session = active_session()
+        mark = session.pass_counts_snapshot()
         for benchmark, size, scale in specs:
             if progress is not None:
                 progress(
@@ -353,6 +372,7 @@ def _run_sweep(
                     budget_s=budget_s,
                 )
             )
+        merge_pass_totals(result.compile_passes, session.pass_counts_since(mark))
 
     if store_path:
         # A serial sweep with an explicit store runs in its own scoped

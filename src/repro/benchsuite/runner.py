@@ -311,7 +311,7 @@ def run_benchmark_pair(
     ``engine`` selects the execution engine for *both* sides: the CUDA-lite
     kernels are dispatched to their registered vectorized implementations and
     the Descend programs run through the device-plan compiler
-    (:mod:`repro.descend.interp.vectorize`).  Because both engines produce
+    (:mod:`repro.descend.plan`).  Because both engines produce
     identical cycle counts, the Figure 8 ratios are engine-independent —
     ``"vectorized"`` just regenerates them much faster.  ``scale`` enlarges
     the workload footprint without touching ``REPRO_SCALE``.

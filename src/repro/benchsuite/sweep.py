@@ -41,6 +41,16 @@ from repro.errors import BenchmarkError
 MAX_JOBS = 32
 
 
+def merge_pass_totals(
+    totals: Dict[str, Dict[str, int]], delta: Dict[str, Dict[str, int]]
+) -> None:
+    """Accumulate one cell's pass summary into the sweep-wide totals."""
+    for name, tiers in delta.items():
+        bucket = totals.setdefault(name, {})
+        for tier, count in tiers.items():
+            bucket[tier] = bucket.get(tier, 0) + count
+
+
 def _worker_init(store_path: Optional[str]) -> None:
     """Per-worker process setup: a fresh session warmed by the shared store."""
     from repro.descend.driver import CompileSession, set_active_session
@@ -57,9 +67,18 @@ def _worker_init(store_path: Optional[str]) -> None:
 
 
 def _run_cell(cell: Dict[str, object]):
-    """Measure one sweep cell; returns ``(index, row, error)``."""
-    from repro.benchsuite.enginebench import compare_engines
+    """Measure one sweep cell; returns ``(index, row, error, passes)``.
 
+    ``passes`` is the cell's compile-pass summary from the worker's session
+    (:meth:`~repro.descend.driver.CompileSession.pass_counts_since`) — how
+    the orchestrator proves that warm-store workers deserialized plans
+    instead of re-lowering them.
+    """
+    from repro.benchsuite.enginebench import compare_engines
+    from repro.descend.driver import active_session
+
+    session = active_session()
+    mark = session.pass_counts_snapshot()
     try:
         row = compare_engines(
             str(cell["benchmark"]),
@@ -69,9 +88,9 @@ def _run_cell(cell: Dict[str, object]):
             scale=cell["scale"],  # type: ignore[arg-type]
             budget_s=cell["budget_s"],  # type: ignore[arg-type]
         )
-        return cell["index"], row, None
+        return cell["index"], row, None, session.pass_counts_since(mark)
     except Exception as exc:  # propagate as data: tracebacks don't cross Pool cleanly
-        return cell["index"], None, f"{type(exc).__name__}: {exc}"
+        return cell["index"], None, f"{type(exc).__name__}: {exc}", None
 
 
 def run_cells(
@@ -79,11 +98,14 @@ def run_cells(
     jobs: int,
     store_path: Optional[str] = None,
     progress=None,
+    pass_totals: Optional[Dict[str, Dict[str, int]]] = None,
 ) -> List[object]:
     """Run sweep cells across ``jobs`` worker processes; rows in sweep order.
 
     Each cell dict carries ``index``, ``variant``, ``benchmark``, ``size``,
-    ``scale``, ``repeats`` and ``budget_s`` (see :func:`_run_cell`).
+    ``scale``, ``repeats`` and ``budget_s`` (see :func:`_run_cell`).  When
+    ``pass_totals`` is given, every worker's compile-pass summary is merged
+    into it (the ``compile_passes`` field of the bench report).
     """
     jobs = max(1, min(int(jobs), MAX_JOBS, len(cells) or 1))
     context = multiprocessing.get_context("spawn")
@@ -91,7 +113,7 @@ def run_cells(
     with context.Pool(
         processes=jobs, initializer=_worker_init, initargs=(store_path,)
     ) as pool:
-        for index, row, error in pool.imap_unordered(_run_cell, cells, chunksize=1):
+        for index, row, error, passes in pool.imap_unordered(_run_cell, cells, chunksize=1):
             if error is not None:
                 cell = next(c for c in cells if c["index"] == index)
                 pool.terminate()
@@ -100,6 +122,8 @@ def run_cells(
                     f" (scale {cell['scale']}) failed in a worker: {error}"
                 )
             rows[int(index)] = row  # type: ignore[arg-type]
+            if pass_totals is not None and passes:
+                merge_pass_totals(pass_totals, passes)
             if progress is not None:
                 progress(
                     f"[{len(rows)}/{len(cells)}] merged "

@@ -12,6 +12,12 @@ Sub-commands:
 ``descendc print file.descend``
     Parse, type check, and pretty-print the program back to surface syntax.
 
+``descendc plan file.descend [--fun NAME] [--no-opt]``
+    Disassemble the device-plan IR of the program's GPU functions (the
+    serializable op programs the vectorized engine executes).  ``--no-opt``
+    shows the raw lowering before the ``lower.plan.opt`` passes; functions
+    the plan compiler cannot lower print their fallback reason instead.
+
 ``descendc figure8 [--sizes small ...] [--engine vectorized] [--scale N]``
     Run the benchmark harness reproducing Figure 8 of the paper.
 
@@ -126,6 +132,43 @@ def cmd_print(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_plan(args: argparse.Namespace) -> int:
+    from repro.descend.plan import PlanUnsupported, disassemble, lower_device_plan
+
+    try:
+        compiled = _load(args.file)
+    except (DescendSyntaxError, DescendTypeError) as exc:
+        _print_failure(exc, args.file)
+        return 1
+    gpu_names = compiled.gpu_function_names()
+    if args.fun:
+        if args.fun not in gpu_names:
+            print(
+                f"error: `{args.fun}` is not a GPU function of {args.file} "
+                f"(GPU functions: {', '.join(gpu_names) or 'none'})",
+                file=sys.stderr,
+            )
+            return 2
+        gpu_names = (args.fun,)
+    chunks = []
+    for name in gpu_names:
+        if args.no_opt:
+            # Raw lowering, bypassing both the session cache and the
+            # optimization pipeline: what `lower.plan` produced, verbatim.
+            try:
+                plan = lower_device_plan(compiled.program.fun(name))
+            except PlanUnsupported as exc:
+                plan, reason = None, str(exc)
+        else:
+            plan, reason = compiled.device_plan(name)
+        if plan is None:
+            chunks.append(f"// {name}: falls back to the reference engine: {reason}\n")
+        else:
+            chunks.append(disassemble(plan))
+    print("\n".join(chunks), end="")
+    return 0
+
+
 def cmd_figure8(args: argparse.Namespace) -> int:
     from repro.benchsuite import figure8
 
@@ -218,13 +261,18 @@ def cmd_cache(args: argparse.Namespace) -> int:
         if args.json:
             print(_json.dumps(stats, indent=2))
         else:
-            kinds = ", ".join(f"{k}={v}" for k, v in sorted(stats["kinds"].items())) or "none"
             print(f"store {stats['root']} (schema {stats['schema']}, format {stats['format']})")
             print(
                 f"  {stats['entries']} artifacts, {stats['total_bytes']} bytes "
                 f"(budget {stats['max_bytes']})"
             )
-            print(f"  kinds: {kinds}")
+            # Per-kind breakdown (program / failure / cuda / print / plan):
+            # where the blobs and the bytes actually go.
+            if stats["kinds"]:
+                for kind, bucket in sorted(stats["kinds"].items()):
+                    print(f"  {kind:<10} {bucket['count']:>5} blobs  {bucket['bytes']:>10} bytes")
+            else:
+                print("  (empty)")
     elif args.cache_command == "clear":
         store.clear()
         print(f"cleared store {path}")
@@ -271,6 +319,19 @@ def build_parser() -> argparse.ArgumentParser:
     print_.add_argument("--timings", action="store_true", help=timings_help)
     print_.add_argument("--store", default=None, help=store_help)
     print_.set_defaults(func=cmd_print)
+
+    plan = sub.add_parser(
+        "plan", help="disassemble the device-plan IR of a .descend file's GPU functions"
+    )
+    plan.add_argument("file")
+    plan.add_argument("--fun", default=None, help="disassemble only this GPU function")
+    plan.add_argument(
+        "--no-opt", action="store_true",
+        help="show the raw lowering, before the lower.plan.opt passes",
+    )
+    plan.add_argument("--timings", action="store_true", help=timings_help)
+    plan.add_argument("--store", default=None, help=store_help)
+    plan.set_defaults(func=cmd_plan)
 
     cache = sub.add_parser("cache", help="manage the persistent artifact store")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)

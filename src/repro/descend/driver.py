@@ -30,9 +30,10 @@ device plan.  This module turns "compile" into an architectural layer:
   (``session.attach_store(store)``) adds a second cache tier *under* the
   in-memory one: lookups go memory → store → compute, and cold results are
   written back, so the cache survives across processes (CLI invocations,
-  CI jobs, benchsuite shards).  Device plans are closures and therefore
-  persist as outcome stubs that rehydrate via a deterministic re-lowering;
-  everything else round-trips byte-identically through pickles.
+  CI jobs, benchsuite shards).  Every artifact — device plans included,
+  since they are data-driven IR (:mod:`repro.descend.plan`), not closures —
+  round-trips byte-identically through pickles; warm processes deserialize
+  plans instead of re-lowering them.
 
 Every process has an *active* session (:func:`active_session`); consumers
 that want isolation (tests, cold-cache benchmarks) create their own
@@ -65,10 +66,18 @@ from repro.errors import DescendError
 PASS_PARSE = "parse"
 PASS_TYPECK = "typeck"
 PASS_LOWER_PLAN = "lower.plan"
+PASS_LOWER_PLAN_OPT = "lower.plan.opt"
 PASS_LOWER_CUDA = "lower.cuda"
 PASS_LOWER_PRINT = "lower.print"
 
-PASS_ORDER = (PASS_PARSE, PASS_TYPECK, PASS_LOWER_PLAN, PASS_LOWER_CUDA, PASS_LOWER_PRINT)
+PASS_ORDER = (
+    PASS_PARSE,
+    PASS_TYPECK,
+    PASS_LOWER_PLAN,
+    PASS_LOWER_PLAN_OPT,
+    PASS_LOWER_CUDA,
+    PASS_LOWER_PRINT,
+)
 
 
 @dataclass(frozen=True)
@@ -147,10 +156,17 @@ class CompileSession:
         self._programs: Dict[object, "CompiledProgram"] = {}
         self._failures: Dict[object, DescendError] = {}
         self._plans: Dict[Tuple[object, str], Tuple[Optional[object], Optional[str]]] = {}
+        #: Fallback plan cache for programs without a content key (unhashable
+        #: ASTs): keyed by id(fun_def), the FunDef retained to pin the id.
+        self._plans_by_id: Dict[int, Tuple[object, Tuple[Optional[object], Optional[str]]]] = {}
         self._cuda: Dict[Tuple[object, Optional[Tuple[Tuple[str, int], ...]]], object] = {}
         self._printed: Dict[object, str] = {}
         self._digests: Dict[object, object] = {}
         self.timings: List[PassTiming] = []
+        #: Monotonic per-(pass, tier) counters: unlike :attr:`timings`,
+        #: which is trimmed past :data:`MAX_TIMINGS`, these never lose
+        #: history — sweep pass summaries difference them.
+        self.pass_counts: Dict[str, Dict[str, int]] = {}
         self.hits = 0
         self.misses = 0
         self.plan_compiles = 0
@@ -218,14 +234,21 @@ class CompileSession:
             return None
         return self.store.load(digest)
 
-    def store_put(self, kind: str, key: object, value: object, extra: str = "") -> bool:
-        """Write one artifact back to the persistent tier (best-effort)."""
+    def store_put(
+        self, kind: str, key: object, value: object, extra: str = "", label: Optional[str] = None
+    ) -> bool:
+        """Write one artifact back to the persistent tier (best-effort).
+
+        ``label`` refines the *reported* artifact kind (``cache stats``
+        breakdowns) without changing the digest namespace — e.g. the
+        ``unit`` envelope splits into ``program`` vs ``failure`` blobs.
+        """
         if self.store is None:
             return False
         digest = self.artifact_digest(kind, key, extra)
         if digest is None:
             return False
-        return self.store.store(digest, value, kind=kind)
+        return self.store.store(digest, value, kind=label or kind)
 
     # -- keys ------------------------------------------------------------------
     @staticmethod
@@ -255,11 +278,43 @@ class CompileSession:
         if len(self.timings) >= self.MAX_TIMINGS:
             del self.timings[: self.MAX_TIMINGS // 2]
         self.timings.append(timing)
+        tiers = self.pass_counts.setdefault(timing.name, {})
+        tiers[timing.tier] = tiers.get(timing.tier, 0) + 1
         if timing.cached:
             self.hits += 1
         else:
             self.misses += 1
         return timing
+
+    def pass_counts_snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Copy of the monotonic ``{pass: {tier: count}}`` counters.
+
+        Difference against :meth:`pass_counts_since`; unlike slicing
+        :attr:`timings` (trimmed past :data:`MAX_TIMINGS`, which would
+        silently under-count), the counters never lose history.
+        """
+        return {name: dict(tiers) for name, tiers in self.pass_counts.items()}
+
+    def pass_counts_since(
+        self, snapshot: Dict[str, Dict[str, int]]
+    ) -> Dict[str, Dict[str, int]]:
+        """Passes recorded since ``snapshot``, as ``{pass: {tier: count}}``.
+
+        The benchsuite's compile observability: a warm-store sweep must
+        show ``lower.plan`` served from the ``store`` tier with zero
+        ``compute`` entries — the cross-process plan-reuse guarantee.
+        """
+        delta: Dict[str, Dict[str, int]] = {}
+        for name, tiers in self.pass_counts.items():
+            before = snapshot.get(name, {})
+            changed = {
+                tier: count - before.get(tier, 0)
+                for tier, count in tiers.items()
+                if count - before.get(tier, 0) > 0
+            }
+            if changed:
+                delta[name] = changed
+        return delta
 
     def stats(self) -> Dict[str, object]:
         stats: Dict[str, object] = {
@@ -280,10 +335,12 @@ class CompileSession:
         self._programs.clear()
         self._failures.clear()
         self._plans.clear()
+        self._plans_by_id.clear()
         self._cuda.clear()
         self._printed.clear()
         self._digests.clear()
         self.timings.clear()
+        self.pass_counts.clear()
         self.hits = 0
         self.misses = 0
         self.plan_compiles = 0
@@ -326,11 +383,21 @@ class CompileSession:
         """The (cached) device plan of one GPU function.
 
         Returns ``(plan, fallback_reason)``: exactly one of the two is not
-        ``None``.  Failures (:class:`~repro.descend.interp.vectorize.PlanUnsupported`)
+        ``None``.  Failures (:class:`~repro.descend.plan.PlanUnsupported`)
         are cached as well, so repeated launches of an un-lowerable kernel do
         not retry the lowering every time.
+
+        Plans are data-driven IR (:class:`~repro.descend.plan.ir.DevicePlan`)
+        and persist as first-class ``plan`` artifacts: a warm store serves
+        the finished plan directly — no re-lowering, no ``lower.plan``
+        compute pass — and fallback reasons persist alongside.
         """
-        from repro.descend.interp.vectorize import PlanUnsupported, device_plan
+        from repro.descend.plan import (
+            DevicePlan,
+            PlanUnsupported,
+            lower_device_plan,
+            optimize_plan,
+        )
 
         start = time.perf_counter()
         if key is None:
@@ -344,16 +411,29 @@ class CompileSession:
                 )
             )
             return self._plans[entry_key]
-        # A device plan is a tree of closures and cannot be pickled; the
-        # persistent tier stores its *outcome* instead: fallback reasons are
-        # complete artifacts, supported plans a stub that is rehydrated by
-        # re-running the (deterministic) lowering against the cached program.
-        rehydrate = False
+        # The linear fun-def scan only happens past the hot cache-hit path.
+        fun_def = program.fun(fun_name)
+        if key is None:
+            cached = self._plans_by_id.get(id(fun_def))
+            if cached is not None and cached[0] is fun_def:
+                self._touch(self._plans_by_id, id(fun_def))
+                self.record(
+                    PassTiming(
+                        unit, PASS_LOWER_PLAN, time.perf_counter() - start, True, fun_name, "memory"
+                    )
+                )
+                return cached[1]
         persisted = self.store_load("plan", key, extra=fun_name) if key is not None else None
         if isinstance(persisted, tuple) and len(persisted) == 2:
-            status, reason = persisted
-            if status == "fallback" and isinstance(reason, str):
-                entry: Tuple[Optional[object], Optional[str]] = (None, reason)
+            status, payload = persisted
+            entry: Optional[Tuple[Optional[object], Optional[str]]] = None
+            if status == "fallback" and isinstance(payload, str):
+                entry = (None, payload)
+            elif status == "ok" and isinstance(payload, DevicePlan):
+                entry = (payload, None)
+            # Any other shape is a corrupt/stale artifact: degrade to a cold
+            # lowering instead of crashing the consumer later.
+            if entry is not None:
                 self.record(
                     PassTiming(
                         unit, PASS_LOWER_PLAN, time.perf_counter() - start, True, fun_name, "store"
@@ -361,29 +441,41 @@ class CompileSession:
                 )
                 self._store(self._plans, entry_key, entry)
                 return entry
-            rehydrate = status == "ok"
+        lower_start = time.perf_counter()
+        self.plan_compiles += 1
         try:
-            plan = device_plan(program.fun(fun_name))
-            entry = (plan, None)
+            plan = lower_device_plan(fun_def)
         except PlanUnsupported as exc:
             entry = (None, str(exc))
-        if not rehydrate:
-            self.plan_compiles += 1
-        self.record(
-            PassTiming(
-                unit,
-                PASS_LOWER_PLAN,
-                time.perf_counter() - start,
-                rehydrate,
-                fun_name,
-                "store" if rehydrate else "compute",
+            self.record(
+                PassTiming(
+                    unit, PASS_LOWER_PLAN, time.perf_counter() - lower_start, False, fun_name
+                )
             )
-        )
+        else:
+            self.record(
+                PassTiming(
+                    unit, PASS_LOWER_PLAN, time.perf_counter() - lower_start, False, fun_name
+                )
+            )
+            opt_start = time.perf_counter()
+            plan, opt_detail = optimize_plan(plan)
+            self.record(
+                PassTiming(
+                    unit,
+                    PASS_LOWER_PLAN_OPT,
+                    time.perf_counter() - opt_start,
+                    False,
+                    f"{fun_name} {opt_detail}",
+                )
+            )
+            entry = (plan, None)
         if key is not None:
             self._store(self._plans, entry_key, entry)
-            if not rehydrate:
-                record = ("ok", None) if entry[1] is None else ("fallback", entry[1])
-                self.store_put("plan", key, record, extra=fun_name)
+            record = ("ok", entry[0]) if entry[1] is None else ("fallback", entry[1])
+            self.store_put("plan", key, record, extra=fun_name)
+        else:
+            self._store(self._plans_by_id, id(fun_def), (fun_def, entry))
         return entry
 
     def cuda_module(
@@ -553,7 +645,7 @@ class CompilerDriver:
             session.record(PassTiming(name, PASS_PARSE, time.perf_counter() - start, False))
             detached = _detach_failure(exc)
             session._store(session._failures, key, detached)
-            session.store_put("unit", key, ("fail", detached))
+            session.store_put("unit", key, ("fail", detached), label="failure")
             raise
         session.record(PassTiming(name, PASS_PARSE, time.perf_counter() - start, False))
         return self._typecheck(session, program, source, key, name)
@@ -638,7 +730,7 @@ class CompilerDriver:
             if key is not None:
                 detached = _detach_failure(exc)
                 session._store(session._failures, key, detached)
-                session.store_put("unit", key, ("fail", detached))
+                session.store_put("unit", key, ("fail", detached), label="failure")
             raise
         session.record(PassTiming(unit, PASS_TYPECK, time.perf_counter() - start, False))
         compiled = CompiledProgram(
@@ -653,7 +745,9 @@ class CompilerDriver:
             session._store(session._programs, key, compiled)
             # Persist a session-free copy: the loading process re-binds the
             # session (and key) when it pulls the program back out.
-            session.store_put("unit", key, ("ok", replace(compiled, key=None, session=None)))
+            session.store_put(
+                "unit", key, ("ok", replace(compiled, key=None, session=None)), label="program"
+            )
         return compiled
 
     @staticmethod

@@ -6,16 +6,19 @@
   functions, packaged as a simulator kernel (barriers become ``yield``),
 * :mod:`repro.descend.interp.host` — the host-side interpreter (heap
   allocation, host↔device copies, kernel launches) and the convenience API
-  for launching individual GPU functions from Python,
-* :mod:`repro.descend.interp.vectorize` — the device-plan compiler lowering
-  GPU functions to batched numpy operations for the vectorized engine
-  (selected via ``execution_mode="vectorized"``, with automatic fallback to
-  the reference interpreter for unsupported constructs).
+  for launching individual GPU functions from Python.
+
+The device-plan compiler that lowers GPU functions to batched numpy
+operations for the vectorized engine lives in :mod:`repro.descend.plan`
+(lower → optimize → execute over a serializable plan IR); its public names
+are re-exported here for convenience — ``execution_mode="vectorized"``
+selects it per launch, with automatic fallback to the reference
+interpreter for unsupported constructs.
 """
 
 from repro.descend.interp.device import DescendKernel
 from repro.descend.interp.host import ExecutionResult, HostInterpreter
-from repro.descend.interp.vectorize import DevicePlan, PlanUnsupported, compile_device_plan
+from repro.descend.plan import DevicePlan, PlanUnsupported, compile_device_plan
 
 __all__ = [
     "DescendKernel",

@@ -373,10 +373,11 @@ class DescendKernel:
 
     Under ``execution_mode="vectorized"`` (selected per launch or inherited
     from the device) the function body is lowered once into a
-    :class:`~repro.descend.interp.vectorize.DevicePlan` and executed as
-    batched numpy operations; functions the plan compiler cannot lower fall
-    back to this per-thread reference interpreter automatically
-    (:attr:`fallback_reason` records why).
+    :class:`~repro.descend.plan.ir.DevicePlan` — the serializable plan IR of
+    :mod:`repro.descend.plan` — and executed as batched numpy operations;
+    functions the plan compiler cannot lower fall back to this per-thread
+    reference interpreter automatically (:attr:`fallback_reason` records
+    why).
 
     Device plans are cached in a :class:`~repro.descend.driver.CompileSession`
     keyed by content hash (and additionally memoized on the kernel handle),

@@ -1,0 +1,524 @@
+"""Executing plan IR against the vectorized engine's :class:`VecCtx`.
+
+Stage three of the device-plan pipeline: a small register-machine
+interpreter over the frozen op dataclasses of :mod:`repro.descend.plan.ir`.
+One :class:`ExecState` per launch holds the slot register file (one Python
+value per slot — uniform scalars, per-thread numpy arrays, or
+:class:`~repro.descend.interp.values.MemValue` regions), the active lane
+mask, the nat environment and the ``sched``/``split`` window bookkeeping.
+
+Parity with the per-thread reference interpreter is exact by construction —
+the invariants are the same ones the closure compiler this package replaced
+relied on:
+
+* each thread performs the same accesses in the same per-thread order, so
+  the ``(block, warp, slot)`` coalescing groups and the barrier epochs seen
+  by the race detector are identical;
+* masked-out lanes do not advance their slot counters, do not count
+  arithmetic, and record no accesses — exactly like threads that skip a
+  branch in the reference engine;
+* ``sync`` only ever executes with the full grid active (the lowering
+  rejects divergent barriers), so one :meth:`VecCtx.sync` equals one
+  barrier per block.
+
+The dispatch table maps op classes to handler functions; per-op overhead is
+amortized over whole-grid numpy operations, which is what makes the plan
+backend fast in the first place.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.descend.ast.dims import DimName
+from repro.descend.ast.exec_level import GpuGridLevel
+from repro.descend.interp.values import MemValue, Value, numpy_dtype, static_shape
+from repro.descend.nat import Nat, evaluate_nat
+from repro.descend.plan.ir import (
+    AllocOp,
+    ArithOp,
+    BorrowOp,
+    CompareOp,
+    ConstOp,
+    DevicePlan,
+    ForEachOp,
+    ForNatOp,
+    FusedArithOp,
+    IfOp,
+    LogicOp,
+    NatIdxStep,
+    NatOp,
+    NegOp,
+    NotOp,
+    PlaceIR,
+    ProjStep,
+    ReadOp,
+    SchedOp,
+    SelectStep,
+    SplitOp,
+    StoreOp,
+    SyncOp,
+    ViewStep,
+)
+from repro.descend.views.indexing import BoundView, LogicalArray, LogicalPair
+from repro.descend.views.registry import resolve_view
+from repro.errors import DescendRuntimeError
+from repro.gpusim.engine.vectorized import VecCtx
+
+
+@lru_cache(maxsize=512)
+def _resolved_view(ref):
+    """Registry resolution of a view reference, memoized across launches.
+
+    The IR stores the syntactic :class:`~repro.descend.ast.views.ViewRef`
+    (plain data, serializable); the registry lookup happens here, once per
+    distinct reference per process.
+    """
+    return resolve_view(ref)
+
+
+class ElementSlot:
+    """A batch of fully indexed elements: one offset per thread of the grid."""
+
+    __slots__ = ("buffer", "offsets")
+
+    def __init__(self, buffer, offsets) -> None:
+        self.buffer = buffer
+        self.offsets = offsets
+
+
+class LocalTarget:
+    """Marker for a plain scalar slot used as an assignment target."""
+
+    __slots__ = ("slot",)
+
+    def __init__(self, slot: int) -> None:
+        self.slot = slot
+
+
+class ExecState:
+    """Mutable launch state threaded through the plan interpreter.
+
+    Everything here is *uniform* over the grid (nat bindings, view windows,
+    scheduling bookkeeping) or *batched* (slots holding per-thread arrays,
+    the active-lane mask, the execution coordinates).
+    """
+
+    def __init__(
+        self,
+        ctx: VecCtx,
+        level: GpuGridLevel,
+        nat_env: Dict[str, int],
+        n_slots: int,
+    ) -> None:
+        self.ctx = ctx
+        self.nat_env = dict(nat_env)
+        self.slots: list = [None] * n_slots
+        self.exec_coords: Dict[str, Tuple[object, ...]] = {}
+        self.mask: Optional[np.ndarray] = None
+
+        self.block_window = {
+            name: [0, int(evaluate_nat(size, self.nat_env))]
+            for name, size in level.blocks.entries
+        }
+        self.thread_window = {
+            name: [0, int(evaluate_nat(size, self.nat_env))]
+            for name, size in level.threads.entries
+        }
+        self.pending_blocks = set(self.block_window)
+        self.pending_threads = set(self.thread_window)
+
+    # -- helpers ---------------------------------------------------------------
+    def nat_value(self, nat: Nat) -> int:
+        return int(evaluate_nat(nat, self.nat_env))
+
+    def raw_index(self, dim: DimName, over_blocks: bool) -> np.ndarray:
+        source = self.ctx.blockIdx if over_blocks else self.ctx.threadIdx
+        return {DimName.X: source.x, DimName.Y: source.y, DimName.Z: source.z}[dim]
+
+    def load(self, slot: ElementSlot):
+        return self.ctx.load(slot.buffer, slot.offsets, where=self.mask)
+
+    def store(self, slot: ElementSlot, value) -> None:
+        self.ctx.store(slot.buffer, slot.offsets, value, where=self.mask)
+
+    def arith(self, count: int = 1) -> None:
+        self.ctx.arith(count, where=self.mask)
+
+
+# ---------------------------------------------------------------------------
+# Value helpers (shared with the reference semantics)
+# ---------------------------------------------------------------------------
+
+
+def _as_int_index(value):
+    """Mirror the reference interpreter's ``int(...)`` on expression indices."""
+    if isinstance(value, np.ndarray):
+        return value.astype(np.int64, copy=False)
+    return int(value)
+
+
+def _is_integer(value) -> bool:
+    if isinstance(value, np.ndarray):
+        return value.dtype.kind in "iu"
+    return isinstance(value, (int, np.integer)) and not isinstance(value, bool)
+
+
+def _logical_not(value):
+    if isinstance(value, np.ndarray):
+        return np.logical_not(value)
+    return not value
+
+
+def _apply_arith(op: str, lhs, rhs):
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op == "/":
+        if _is_integer(lhs) and _is_integer(rhs):
+            return lhs // rhs
+        return lhs / rhs
+    return lhs % rhs
+
+
+_COMPARISONS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def _merge_masked(mask: Optional[np.ndarray], new, old):
+    """Merge an assignment under a mask (inactive lanes keep their value)."""
+    if mask is None:
+        return new
+    return np.where(mask, new, old)
+
+
+# ---------------------------------------------------------------------------
+# Place evaluation
+# ---------------------------------------------------------------------------
+
+
+def _eval_place(place: PlaceIR, state: ExecState) -> Union[ElementSlot, LocalTarget, MemValue]:
+    value = state.slots[place.root]
+    if value is None:
+        raise DescendRuntimeError(f"unbound variable `{place.root_name}` at runtime")
+    if not isinstance(value, MemValue):
+        if not place.steps:
+            return LocalTarget(place.root)
+        raise DescendRuntimeError(
+            f"`{place.root_name}` is a scalar and cannot be indexed or viewed"
+        )
+
+    current: Union[LogicalArray, LogicalPair] = value.logical
+    buffer = value.buffer
+    for step in place.steps:
+        if isinstance(step, ViewStep):
+            if isinstance(current, LogicalPair):
+                raise DescendRuntimeError("`split` must be followed by `.fst`/`.snd`")
+            current = current.apply_view(BoundView(_resolved_view(step.ref), state.nat_value))
+            continue
+        if isinstance(step, ProjStep):
+            if isinstance(current, LogicalPair):
+                current = current.project(step.index)
+                continue
+            raise DescendRuntimeError("tuple projections on runtime tuples are not supported")
+        if isinstance(current, LogicalPair):
+            raise DescendRuntimeError("`split` must be followed by `.fst`/`.snd`")
+        if isinstance(step, SelectStep):
+            coords = state.exec_coords.get(step.exec_var)
+            if coords is None:
+                raise DescendRuntimeError(
+                    f"`{step.exec_var}` is not a scheduled execution resource"
+                )
+            current = current.select(coords)
+            continue
+        if isinstance(step, NatIdxStep):
+            current = current.index(state.nat_value(step.nat))
+            continue
+        # SlotIdxStep: the index ops ran earlier in the surrounding sequence.
+        current = current.index(_as_int_index(state.slots[step.slot]))
+
+    if isinstance(current, LogicalPair):
+        raise DescendRuntimeError("`split` must be followed by `.fst`/`.snd`")
+    if current.is_scalar():
+        return ElementSlot(buffer=buffer, offsets=current.flat_offset(()))
+    return MemValue(buffer=buffer, logical=current, uniq=value.uniq)
+
+
+# ---------------------------------------------------------------------------
+# Op handlers
+# ---------------------------------------------------------------------------
+
+
+def _run_const(op: ConstOp, state: ExecState) -> None:
+    state.slots[op.out] = op.value
+
+
+def _run_nat(op: NatOp, state: ExecState) -> None:
+    state.slots[op.out] = state.nat_value(op.nat)
+
+
+def _run_read(op: ReadOp, state: ExecState) -> None:
+    target = _eval_place(op.place, state)
+    if isinstance(target, ElementSlot):
+        state.slots[op.out] = state.load(target)
+    elif isinstance(target, LocalTarget):
+        state.slots[op.out] = state.slots[target.slot]
+    else:
+        state.slots[op.out] = target
+
+
+def _run_borrow(op: BorrowOp, state: ExecState) -> None:
+    target = _eval_place(op.place, state)
+    if isinstance(target, ElementSlot):
+        raise DescendRuntimeError("cannot borrow a single element at runtime")
+    if isinstance(target, LocalTarget):
+        raise DescendRuntimeError("cannot borrow a scalar local at runtime")
+    state.slots[op.out] = target
+
+
+def _run_alloc(op: AllocOp, state: ExecState) -> None:
+    shape = static_shape(op.ty, state.nat_env) or (1,)
+    dtype = numpy_dtype(op.ty)
+    if op.space == "gpu.shared":
+        # Stable per-site pool key: re-evaluating the same alloc (a loop
+        # body) reuses the one per-block buffer, like the reference engine.
+        buffer = state.ctx.shared(f"plan_shared_{op.alloc_id}", shape, dtype=dtype)
+    else:
+        buffer = state.ctx.local(shape, dtype=dtype)
+    state.slots[op.out] = MemValue(buffer=buffer, logical=LogicalArray.root(tuple(buffer.shape)))
+
+
+def _run_arith(op: ArithOp, state: ExecState) -> None:
+    lhs = state.slots[op.lhs]
+    rhs = state.slots[op.rhs]
+    state.arith(1)
+    state.slots[op.out] = _apply_arith(op.op, lhs, rhs)
+
+
+def _run_fused_arith(op: FusedArithOp, state: ExecState) -> None:
+    # Two per-lane arith counts under one mask == two separate counts under
+    # the same mask: the cost model only sums, so fusing is parity-exact.
+    state.arith(2)
+    inner = _apply_arith(op.inner_op, state.slots[op.inner_lhs], state.slots[op.inner_rhs])
+    other = state.slots[op.other]
+    if op.inner_is_lhs:
+        state.slots[op.out] = _apply_arith(op.outer_op, inner, other)
+    else:
+        state.slots[op.out] = _apply_arith(op.outer_op, other, inner)
+
+
+def _run_compare(op: CompareOp, state: ExecState) -> None:
+    state.slots[op.out] = _COMPARISONS[op.op](state.slots[op.lhs], state.slots[op.rhs])
+
+
+def _run_logic(op: LogicOp, state: ExecState) -> None:
+    lhs = state.slots[op.lhs]
+    rhs = state.slots[op.rhs]
+    if isinstance(lhs, np.ndarray) or isinstance(rhs, np.ndarray):
+        state.slots[op.out] = (
+            np.logical_and(lhs, rhs) if op.op == "&&" else np.logical_or(lhs, rhs)
+        )
+    else:
+        state.slots[op.out] = (
+            (bool(lhs) and bool(rhs)) if op.op == "&&" else (bool(lhs) or bool(rhs))
+        )
+
+
+def _run_neg(op: NegOp, state: ExecState) -> None:
+    operand = state.slots[op.operand]
+    state.arith(1)
+    state.slots[op.out] = -operand
+
+
+def _run_not(op: NotOp, state: ExecState) -> None:
+    state.slots[op.out] = _logical_not(state.slots[op.operand])
+
+
+def _run_store(op: StoreOp, state: ExecState) -> None:
+    value = state.slots[op.value]
+    target = _eval_place(op.place, state)
+    if isinstance(target, LocalTarget):
+        old = state.slots[target.slot]
+        state.slots[target.slot] = _merge_masked(state.mask, value, old)
+    elif isinstance(target, ElementSlot):
+        state.store(target, value)
+    else:
+        raise DescendRuntimeError(f"cannot assign a whole array at once: `{op.place.text}`")
+
+
+def _run_if(op: IfOp, state: ExecState) -> None:
+    cond = state.slots[op.cond]
+    if not isinstance(cond, np.ndarray):
+        if cond:
+            _run_ops(op.then_ops, state)
+        elif op.else_ops is not None:
+            _run_ops(op.else_ops, state)
+        return
+    old_mask = state.mask
+    then_mask = cond if old_mask is None else (old_mask & cond)
+    if then_mask.any():
+        state.mask = then_mask
+        try:
+            _run_ops(op.then_ops, state)
+        finally:
+            state.mask = old_mask
+    if op.else_ops is not None:
+        else_mask = ~cond if old_mask is None else (old_mask & ~cond)
+        if else_mask.any():
+            state.mask = else_mask
+            try:
+                _run_ops(op.else_ops, state)
+            finally:
+                state.mask = old_mask
+
+
+def _run_for_nat(op: ForNatOp, state: ExecState) -> None:
+    lo = state.nat_value(op.lo)
+    hi = state.nat_value(op.hi)
+    previous = state.nat_env.get(op.var)
+    for value in range(lo, hi):
+        state.nat_env[op.var] = value
+        _run_ops(op.body, state)
+    if previous is None:
+        state.nat_env.pop(op.var, None)
+    else:
+        state.nat_env[op.var] = previous
+
+
+def _run_for_each(op: ForEachOp, state: ExecState) -> None:
+    collection = state.slots[op.collection]
+    if not isinstance(collection, MemValue):
+        raise DescendRuntimeError("`for ... in` expects an array value")
+    size = int(collection.shape[0])
+    for index in range(size):
+        element = collection.logical.index(index)
+        if element.is_scalar():
+            value: Value = state.load(
+                ElementSlot(buffer=collection.buffer, offsets=element.flat_offset(()))
+            )
+        else:
+            value = MemValue(buffer=collection.buffer, logical=element)
+        state.slots[op.var] = value
+        _run_ops(op.body, state)
+
+
+def _run_sched(op: SchedOp, state: ExecState) -> None:
+    over_blocks = bool(state.pending_blocks)
+    window = state.block_window if over_blocks else state.thread_window
+    pending = state.pending_blocks if over_blocks else state.pending_threads
+
+    coords = []
+    for dim in op.dims:
+        if dim not in pending:
+            raise DescendRuntimeError(f"dimension {dim} is not pending for `{op.binder}`")
+        lo, _hi = window[dim]
+        raw = state.raw_index(dim, over_blocks)
+        coords.append(raw - lo if lo else raw)
+    for dim in op.dims:
+        pending.discard(dim)
+    previous_coords = state.exec_coords.get(op.binder)
+    state.exec_coords[op.binder] = tuple(coords)
+    try:
+        _run_ops(op.body, state)
+    finally:
+        if previous_coords is None:
+            state.exec_coords.pop(op.binder, None)
+        else:
+            state.exec_coords[op.binder] = previous_coords
+        for dim in op.dims:
+            pending.add(dim)
+
+
+def _run_split(op: SplitOp, state: ExecState) -> None:
+    over_blocks = op.dim in state.pending_blocks
+    window = state.block_window if over_blocks else state.thread_window
+    if op.dim not in window:
+        raise DescendRuntimeError(f"cannot split missing dimension {op.dim}")
+    lo, hi = window[op.dim]
+    pos = state.nat_value(op.pos)
+    relative = state.raw_index(op.dim, over_blocks) - lo
+    first_cond = relative < pos
+    old_mask = state.mask
+
+    first_mask = first_cond if old_mask is None else (old_mask & first_cond)
+    if first_mask.any():
+        window[op.dim] = [lo, lo + pos]
+        state.mask = first_mask
+        try:
+            _run_ops(op.first, state)
+        finally:
+            window[op.dim] = [lo, hi]
+            state.mask = old_mask
+
+    second_mask = ~first_cond if old_mask is None else (old_mask & ~first_cond)
+    if second_mask.any():
+        window[op.dim] = [lo + pos, hi]
+        state.mask = second_mask
+        try:
+            _run_ops(op.second, state)
+        finally:
+            window[op.dim] = [lo, hi]
+            state.mask = old_mask
+
+
+def _run_sync(op: SyncOp, state: ExecState) -> None:
+    # The lowering guarantees `sync` is never nested under divergence, so
+    # the whole grid is active here: one barrier per block, one epoch
+    # grid-wide — the same accounting as the per-block reference executor.
+    assert state.mask is None, "sync under an active mask escaped lowering checks"
+    state.ctx.sync()
+
+
+_DISPATCH = {
+    ConstOp: _run_const,
+    NatOp: _run_nat,
+    ReadOp: _run_read,
+    BorrowOp: _run_borrow,
+    AllocOp: _run_alloc,
+    ArithOp: _run_arith,
+    FusedArithOp: _run_fused_arith,
+    CompareOp: _run_compare,
+    LogicOp: _run_logic,
+    NegOp: _run_neg,
+    NotOp: _run_not,
+    StoreOp: _run_store,
+    IfOp: _run_if,
+    ForNatOp: _run_for_nat,
+    ForEachOp: _run_for_each,
+    SchedOp: _run_sched,
+    SplitOp: _run_split,
+    SyncOp: _run_sync,
+}
+
+
+def _run_ops(ops, state: ExecState) -> None:
+    dispatch = _DISPATCH
+    for op in ops:
+        dispatch[op.__class__](op, state)
+
+
+def execute_plan(
+    plan: DevicePlan,
+    ctx: VecCtx,
+    nat_env: Dict[str, int],
+    args: Dict[str, Value],
+) -> None:
+    """Run one launch of a plan against a grid-wide :class:`VecCtx`."""
+    state = ExecState(ctx, plan.level, nat_env, plan.n_slots)
+    for index, name in enumerate(plan.params):
+        if name not in args:
+            raise DescendRuntimeError(f"missing argument `{name}`")
+        state.slots[index] = args[name]
+    _run_ops(plan.body, state)

@@ -396,10 +396,12 @@ class ArtifactStore:
         return summary
 
     def _summary(self, entries: Dict[str, Dict[str, object]]) -> Dict[str, object]:
-        kinds: Dict[str, int] = {}
+        kinds: Dict[str, Dict[str, int]] = {}
         for entry in entries.values():
             kind = str(entry.get("kind", "artifact"))
-            kinds[kind] = kinds.get(kind, 0) + 1
+            bucket = kinds.setdefault(kind, {"count": 0, "bytes": 0})
+            bucket["count"] += 1
+            bucket["bytes"] += int(entry.get("size", 0))
         return {
             "root": str(self.root),
             "format": STORE_FORMAT,

@@ -296,6 +296,40 @@ class TestSweepOrchestrator:
         assert ArtifactStore(tmp_path / "b").stats()["entries"] > 0
         assert store_a.stats()["entries"] == 0
 
+    def test_warm_store_workers_deserialize_plans_without_relowering(self, tmp_path):
+        """Cross-process plan reuse: a `--jobs 2 --store` sweep against a
+        warm store must run ZERO `lower.plan` compute passes in its workers —
+        plans come out of the store as data, with no rehydration re-lowering
+        (the serializable-plan-IR acceptance criterion)."""
+        kwargs = dict(
+            benchmarks=("transpose",), rows=(("small", 1),), repeats=1,
+            jobs=2, store_path=str(tmp_path / "store"),
+        )
+        cold = run_descend_engine_bench(**kwargs)
+        cold_plan = cold.compile_passes.get("lower.plan", {})
+        assert cold_plan.get("compute", 0) > 0  # the first sweep lowered
+
+        warm = run_descend_engine_bench(**kwargs)
+        warm_plan = warm.compile_passes.get("lower.plan", {})
+        assert warm_plan.get("compute", 0) == 0
+        assert warm_plan.get("store", 0) >= 1  # served straight from the store
+        # The optimization pipeline only runs on cold lowerings.
+        assert "lower.plan.opt" not in warm.compile_passes
+        assert warm.rows[0].cycles_match
+        # The pass summary also lands in the JSON report for CI to grep.
+        payload = warm.as_dict()
+        assert payload["compile_passes"]["lower.plan"].get("compute", 0) == 0
+
+    def test_serial_sweep_records_compile_passes(self, tmp_path):
+        from repro.descend.driver import session_scope
+
+        with session_scope():
+            result = run_descend_engine_bench(
+                benchmarks=("transpose",), rows=(("small", 1),), budget_s=1e9,
+            )
+        assert result.compile_passes.get("lower.plan", {}).get("compute", 0) == 1
+        assert result.compile_passes.get("typeck", {}).get("compute", 0) >= 1
+
     def test_worker_failure_aborts_the_sweep(self):
         from repro.benchsuite.sweep import make_cells, run_cells
 

@@ -68,6 +68,49 @@ def test_print_roundtrips_surface_syntax(good_file, capsys):
     assert "fn scale_vec" in capsys.readouterr().out
 
 
+def test_plan_disassembles_gpu_functions(good_file, capsys):
+    assert main(["plan", good_file]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("plan scale_vec exec gpu.grid")
+    assert "params: %0=vec" in out
+    assert "sched(X) block {" in out
+    assert "store vec.group::<32>[[block]][[thread]]" in out
+
+
+def test_plan_no_opt_shows_raw_lowering(good_file, capsys):
+    assert main(["plan", good_file, "--no-opt"]) == 0
+    assert "plan scale_vec" in capsys.readouterr().out
+
+
+def test_plan_rejects_unknown_function(good_file, capsys):
+    assert main(["plan", good_file, "--fun", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "not a GPU function" in err and "scale_vec" in err
+
+
+def test_plan_reports_fallback_reason(tmp_path, capsys):
+    # A sync under a per-thread if cannot be vectorized: the disassembler
+    # prints the fallback reason instead of an IR dump.
+    path = tmp_path / "fallback.descend"
+    path.write_text(
+        """
+fn guarded(vec: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            if vec.group::<32>[[block]][[thread]] < 1.0 {
+                sync
+            }
+        }
+    }
+}
+"""
+    )
+    assert main(["plan", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "falls back to the reference engine" in out
+    assert "sync" in out
+
+
 def test_syntax_error_is_reported(tmp_path, capsys):
     path = tmp_path / "broken.descend"
     path.write_text("fn oops(")
@@ -157,6 +200,11 @@ def test_bench_compile_writes_report(tmp_path, capsys):
     assert programs == {"scale_vec", "reduce", "transpose", "scan", "matmul"}
     for row in payload["programs"]:
         assert row["cold_total_s"] > row["cached_total_s"]
+        # Serializable plans: every program records its pickled plan size
+        # and the time a warm process pays to deserialize instead of lower.
+        assert row["plan_bytes"] > 0
+        assert 0 <= row["plan_deserialize_s"] < row["cold_total_s"]
+    assert payload["total_plan_bytes"] == sum(r["plan_bytes"] for r in payload["programs"])
 
 
 def test_bench_descend_jobs_matches_serial_shape(tmp_path, capsys):

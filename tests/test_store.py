@@ -55,11 +55,13 @@ def _warm_session(store_root) -> CompileSession:
 
 def _compile_everything(session: CompileSession):
     """One full pipeline over the doubler: parse, typeck, all lowerings."""
+    from repro.descend.plan import disassemble
+
     compiled = CompilerDriver(session).compile_source(DOUBLER, name="doubler.descend")
     cuda = compiled.to_cuda().full_source()
     printed = compiled.to_source()
     plan, reason = compiled.device_plan("doubler")
-    return compiled, cuda, printed, (plan is not None, reason)
+    return compiled, cuda, printed, (disassemble(plan) if plan is not None else None, reason)
 
 
 class TestWarmStore:
@@ -95,9 +97,12 @@ class TestWarmStore:
         plan, reason = compiled.device_plan("block_reduce")
         assert warm.misses == 0
         assert plan is not None and reason is None
-        # Device plans are closures: they persist as outcome stubs and are
-        # rehydrated by re-lowering, which must not count as a cold compile.
+        # Plans are data-driven IR: the warm session deserialized the
+        # finished plan from the store — no re-lowering, no opt passes.
         assert warm.plan_compiles == 0
+        plan_timings = [t for t in warm.timings if t.name.startswith("lower.plan")]
+        assert [t.name for t in plan_timings] == ["lower.plan"]
+        assert plan_timings[0].tier == "store"
 
     def test_failures_warm_with_identical_diagnostics(self, tmp_path):
         def diagnose(session):
@@ -112,6 +117,8 @@ class TestWarmStore:
         assert warm_rendered == cold_rendered
         assert warm.misses == 0
         assert warm.timings[0].tier == "store"
+        # Failed units are reported under their own artifact kind.
+        assert set(warm.store.stats()["kinds"]) == {"failure"}
 
     def test_store_stats_reported_through_session(self, tmp_path):
         session = _warm_session(tmp_path / "store")
@@ -119,7 +126,11 @@ class TestWarmStore:
         stats = session.stats()["store"]
         assert stats["entries"] > 0
         assert stats["writes"] > 0
-        assert set(stats["kinds"]) == {"unit", "cuda", "print", "plan"}
+        assert set(stats["kinds"]) == {"program", "cuda", "print", "plan"}
+        # The per-kind breakdown reports blob counts and byte totals.
+        for bucket in stats["kinds"].values():
+            assert bucket["count"] > 0
+            assert bucket["bytes"] > 0
         assert "store hits" in session.timings_table()
 
 
@@ -343,6 +354,28 @@ class TestCacheCli:
         assert cli_main(["cache", "stats", "--json", *store_arg]) == 0
         assert json.loads(capsys.readouterr().out)["entries"] == 0
 
+    def test_cache_stats_breaks_down_by_kind(self, tmp_path, capsys):
+        store_arg = ["--store", str(tmp_path / "store")]
+        good = tmp_path / "good.descend"
+        good.write_text(DOUBLER)
+        # `plan` compiles everything the pipeline produces for a GPU
+        # function: program unit, device plan (and, via stats, their blobs).
+        assert cli_main(["plan", str(good), *store_arg]) == 0
+        capsys.readouterr()
+
+        assert cli_main(["cache", "stats", *store_arg]) == 0
+        out = capsys.readouterr().out
+        for kind in ("program", "plan"):
+            assert any(
+                line.strip().startswith(kind) and "blobs" in line and "bytes" in line
+                for line in out.splitlines()
+            ), out
+
+        assert cli_main(["cache", "stats", "--json", *store_arg]) == 0
+        kinds = json.loads(capsys.readouterr().out)["kinds"]
+        assert kinds["plan"]["count"] == 1
+        assert kinds["plan"]["bytes"] > 0
+
     def test_unusable_store_path_is_a_clean_error(self, tmp_path, capsys):
         not_a_dir = tmp_path / "file"
         not_a_dir.write_text("occupied")
@@ -444,3 +477,52 @@ class TestUnsupportedPlanPersistence:
         assert warm_reason == reason
         assert warm.plan_compiles == 0  # the reason came straight from the store
         assert warm.misses == 0
+
+
+class TestPlanPersistence:
+    """Plans are first-class store artifacts: deserialized, never re-lowered."""
+
+    def test_warm_plan_launches_with_identical_cycles(self, tmp_path):
+        import numpy as np
+
+        data = np.arange(64, dtype=np.float64)
+
+        def launch(session):
+            from repro.gpusim import GpuDevice
+
+            compiled = CompilerDriver(session).compile_source(DOUBLER, name="doubler.descend")
+            device = GpuDevice(execution_mode="vectorized")
+            buf = device.to_device(data)
+            launch = compiled.kernel("doubler").launch(device, {"vec": buf})
+            assert launch.execution_mode == "vectorized"
+            return launch.cycles, device.to_host(buf).copy()
+
+        cold_cycles, cold_result = launch(_warm_session(tmp_path / "store"))
+        warm = _warm_session(tmp_path / "store")
+        warm_cycles, warm_result = launch(warm)
+        assert warm_cycles == cold_cycles
+        assert np.array_equal(warm_result, cold_result)
+        # The warm launch ran zero lowering or optimization passes.
+        assert warm.plan_compiles == 0
+        assert warm.misses == 0
+        assert all(t.name != "lower.plan.opt" for t in warm.timings)
+
+    def test_corrupt_plan_artifact_degrades_to_relowering(self, tmp_path):
+        session = _warm_session(tmp_path / "store")
+        driver = CompilerDriver(session)
+        compiled = driver.compile_source(DOUBLER, name="doubler.descend")
+        compiled.device_plan("doubler")
+        digest = session.artifact_digest(
+            "plan", session.source_key(DOUBLER, "doubler.descend"), extra="doubler"
+        )
+        path = session.store._object_path(digest)
+        path.write_bytes(pickle.dumps(("ok", "not a DevicePlan"), protocol=4))
+
+        warm = _warm_session(tmp_path / "store")
+        plan, reason = (
+            CompilerDriver(warm)
+            .compile_source(DOUBLER, name="doubler.descend")
+            .device_plan("doubler")
+        )
+        assert plan is not None and reason is None  # cold re-lowering, not a crash
+        assert warm.plan_compiles == 1

@@ -9,7 +9,7 @@ identical — Descend's safety guarantees are free at runtime.
 import numpy as np
 
 from repro.cudalite.kernels.reduce import block_reduce_kernel, final_reduce_on_host
-from repro.descend.compiler import compile_program
+from repro.descend.api import compile_program
 from repro.descend_programs.reduce import build_reduce_program
 from repro.gpusim import GpuDevice
 

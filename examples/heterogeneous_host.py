@@ -12,7 +12,7 @@ cudaMemcpy / kernel launch).
 
 import numpy as np
 
-from repro.descend.compiler import compile_program
+from repro.descend.api import compile_program
 from repro.descend_programs.vector import build_scale_program
 from repro.gpusim import GpuDevice
 

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.cudalite.kernels.buggy import buggy_transpose_kernel
 from repro.cudalite.kernels.transpose import transpose_kernel
-from repro.descend.compiler import compile_program
+from repro.descend.api import compile_program
 from repro.descend_programs.transpose import build_transpose_program
 from repro.gpusim import GpuDevice
 

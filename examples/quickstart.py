@@ -9,7 +9,7 @@
 
 import numpy as np
 
-from repro.descend.compiler import compile_source
+from repro.descend.api import compile_source
 from repro.gpusim import GpuDevice
 
 SOURCE = """

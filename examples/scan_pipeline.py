@@ -9,7 +9,7 @@ end of the second.
 import numpy as np
 
 from repro.cudalite.kernels.scan import exclusive_scan_on_host
-from repro.descend.compiler import compile_program
+from repro.descend.api import compile_program
 from repro.descend_programs.scan import build_scan_program
 from repro.gpusim import GpuDevice
 

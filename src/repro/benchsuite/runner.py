@@ -28,7 +28,7 @@ from repro.cudalite.kernels import matmul as cu_matmul
 from repro.cudalite.kernels import reduce as cu_reduce
 from repro.cudalite.kernels import scan as cu_scan
 from repro.cudalite.kernels import transpose as cu_transpose
-from repro.descend.compiler import compile_program
+from repro.descend.api import compile_program
 from repro.descend_programs import matmul as d_matmul
 from repro.descend_programs import reduce as d_reduce
 from repro.descend_programs import scan as d_scan

@@ -18,28 +18,41 @@ Sub-commands:
     shows the raw lowering before the ``lower.plan.opt`` passes; functions
     the plan compiler cannot lower print their fallback reason instead.
 
+``descendc serve [--socket PATH] [--store PATH]``
+    Run the compile-service daemon: one hot, store-attached compile session
+    serving ``check``/``compile``/``print``/``plan``/``cache.stats``/
+    ``ping``/``shutdown`` to local clients over a newline-delimited JSON
+    protocol (API schema v1).  Identical in-flight compiles coalesce, the
+    queue is bounded (backpressure), SIGTERM drains gracefully.
+
+``descendc client OP [file] [--socket PATH]``
+    Run one operation against a running daemon and print the result exactly
+    like the corresponding local sub-command would.
+
 ``descendc figure8 [--sizes small ...] [--engine vectorized] [--scale N]``
     Run the benchmark harness reproducing Figure 8 of the paper.
 
-``descendc bench [--quick] [--descend] [--compile] [--scales 1 4 8] [--jobs N]``
+``descendc bench [--quick] [--descend] [--compile] [--serve] [--jobs N]``
     Benchmark the reference vs the warp-vectorized execution engine on the
     Figure 8 workloads (CUDA-lite kernels by default, the Descend programs
     through the device-plan compiler with ``--descend``), assert cycle-count
     parity, and write a ``BENCH_*.json`` report (the CI bench-smoke
     artifacts).  ``--jobs N`` shards the sweep across N worker processes
     (serial stays the default and the parity oracle); ``--compile``
-    benchmarks the *compiler* instead: the staged driver's per-pass timings,
-    cold vs session-cached (``BENCH_compile_time.json``).
+    benchmarks the *compiler* instead (``BENCH_compile_time.json``);
+    ``--serve`` load-tests the compile-service daemon
+    (``BENCH_serve_throughput.json``: requests/s, p50/p99, cold vs warm
+    store).
 
 ``descendc cache stats|clear|gc [--store PATH]``
     Inspect, empty, or garbage-collect the persistent artifact store.
 
-All sub-commands share one :class:`~repro.descend.driver.CompileSession`:
-repeated compiles of the same file hit the content-addressed pass cache.
-``--store PATH`` (or the ``REPRO_STORE`` environment variable) attaches a
-persistent :class:`~repro.descend.store.ArtifactStore` under the session,
-so the cache additionally survives across invocations.  ``--timings``
-prints the session's pass breakdown after the command.
+Every sub-command is a thin consumer of :mod:`repro.descend.api`: requests
+go through one process-wide :class:`~repro.descend.api.LocalBackend`
+(sharing one compile session across sub-commands and invocations) or, for
+``client``, a :class:`~repro.descend.api.DescendClient` speaking to a
+daemon.  ``--store PATH`` / ``REPRO_STORE`` and ``--timings`` are accepted
+uniformly by every sub-command via shared parent parsers.
 """
 
 from __future__ import annotations
@@ -48,14 +61,39 @@ import argparse
 import json as _json
 import os
 import sys
+import tempfile
 from typing import Optional, Sequence
 
-from repro.descend.compiler import CompilerDriver, CompileSession, set_active_session
-from repro.errors import DescendError, DescendSyntaxError, DescendTypeError
+from repro.descend.api import (
+    ERR_BAD_REQUEST,
+    OP_CACHE_STATS,
+    OP_CHECK,
+    OP_COMPILE,
+    OP_PING,
+    OP_PLAN,
+    OP_PRINT,
+    OP_SHUTDOWN,
+    DescendClient,
+    LocalBackend,
+    ProtocolError,
+    Request,
+    Response,
+)
+from repro.descend.driver import set_active_session
+from repro.errors import DescendError
 
-#: The session shared by every sub-command of one CLI invocation.
-_SESSION = CompileSession(label="cli")
-_DRIVER = CompilerDriver(_SESSION)
+#: The backend shared by every sub-command of one CLI invocation (and, like
+#: the old shared session, by repeated ``main()`` calls in one process).
+_BACKEND = LocalBackend(label="cli")
+
+
+def _default_socket() -> str:
+    """Default daemon socket: ``REPRO_SOCKET`` or a per-user tmp path."""
+    env = os.environ.get("REPRO_SOCKET")
+    if env:
+        return env
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return os.path.join(tempfile.gettempdir(), f"descendc-{uid}.sock")
 
 
 def _store_path(args: argparse.Namespace) -> Optional[str]:
@@ -63,110 +101,147 @@ def _store_path(args: argparse.Namespace) -> Optional[str]:
     return getattr(args, "store", None) or os.environ.get("REPRO_STORE") or None
 
 
-def _open_store(path: str):
-    from repro.descend.store import ArtifactStore
-
-    return ArtifactStore(path)
-
-
-def _load(path: str):
-    return _DRIVER.compile_file(path)
-
-
 def _print_timings(args: argparse.Namespace) -> None:
     if getattr(args, "timings", False):
-        print(f"\npass timings ({_SESSION.label} session):", file=sys.stderr)
-        print(_SESSION.timings_table(), file=sys.stderr)
+        session = _BACKEND.session
+        print(f"\npass timings ({session.label} session):", file=sys.stderr)
+        print(session.timings_table(), file=sys.stderr)
 
 
-def _print_failure(exc: Exception, path: str) -> None:
-    diagnostic = getattr(exc, "diagnostic", None)
-    if diagnostic is not None:
-        source = None
-        try:
-            from repro.descend.source import SourceFile
+def _print_response_failure(response: Response) -> int:
+    """Render an error response the way the old one-shot CLI did."""
+    for rendered in response.diagnostics:
+        print(rendered, file=sys.stderr)
+    if not response.diagnostics:
+        print(f"error: {response.error_message}", file=sys.stderr)
+    return 2 if response.error_code == ERR_BAD_REQUEST else 1
 
-            with open(path, "r", encoding="utf-8") as handle:
-                source = SourceFile(handle.read(), path)
-        except OSError:
-            source = None
-        print(diagnostic.render(source), file=sys.stderr)
-    else:
-        print(f"error: {exc}", file=sys.stderr)
+
+def _emit(args: argparse.Namespace, response: Response) -> int:
+    """Print one API response exactly like the local sub-commands do.
+
+    Shared by the in-process commands and ``descendc client``, which is
+    what keeps daemon output byte-identical to local output.
+    """
+    if getattr(args, "json", False):
+        print(_json.dumps(response.to_wire(), indent=2))
+        return 0 if response.ok else (2 if response.error_code == ERR_BAD_REQUEST else 1)
+    if not response.ok:
+        return _print_response_failure(response)
+    op = response.op
+    if op == OP_CHECK:
+        names = ", ".join(response.artifacts.get("functions", ()))
+        print(f"ok: {args.file} type checks ({names})")
+    elif op == OP_COMPILE:
+        source = response.artifacts.get("cuda", "")
+        output = getattr(args, "output", None)
+        if output:
+            with open(output, "w", encoding="utf-8") as handle:
+                handle.write(source)
+            print(f"wrote {output}")
+        else:
+            print(source)
+    elif op == OP_PRINT:
+        print(response.artifacts.get("source", ""))
+    elif op == OP_PLAN:
+        print(response.artifacts.get("ir", ""), end="")
+    elif op == OP_CACHE_STATS:
+        print(_json.dumps(response.artifacts, indent=2))
+    elif op == OP_PING:
+        artifacts = response.artifacts
+        print(f"pong: pid {artifacts.get('pid')}, {artifacts.get('requests')} requests served")
+    elif op == OP_SHUTDOWN:
+        print("server stopping")
+    return 0
+
+
+def _file_request(op: str, args: argparse.Namespace) -> Request:
+    options = {}
+    if getattr(args, "no_opt", False):
+        options["no_opt"] = True
+    return Request(op=op, path=args.file, fun=getattr(args, "fun", None), options=options)
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    try:
-        compiled = _load(args.file)
-    except (DescendSyntaxError, DescendTypeError) as exc:
-        _print_failure(exc, args.file)
-        return 1
-    names = ", ".join(compiled.function_names)
-    print(f"ok: {args.file} type checks ({names})")
-    return 0
+    return _emit(args, _BACKEND.handle(_file_request(OP_CHECK, args)))
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
-    try:
-        compiled = _load(args.file)
-    except (DescendSyntaxError, DescendTypeError) as exc:
-        _print_failure(exc, args.file)
-        return 1
-    source = compiled.to_cuda().full_source()
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(source)
-        print(f"wrote {args.output}")
-    else:
-        print(source)
-    return 0
+    return _emit(args, _BACKEND.handle(_file_request(OP_COMPILE, args)))
 
 
 def cmd_print(args: argparse.Namespace) -> int:
-    try:
-        compiled = _load(args.file)
-    except (DescendSyntaxError, DescendTypeError) as exc:
-        _print_failure(exc, args.file)
-        return 1
-    print(compiled.to_source())
-    return 0
+    return _emit(args, _BACKEND.handle(_file_request(OP_PRINT, args)))
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
-    from repro.descend.plan import PlanUnsupported, disassemble, lower_device_plan
+    return _emit(args, _BACKEND.handle(_file_request(OP_PLAN, args)))
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.descend.serve import CompileServer, ServeConfig
+
+    config = ServeConfig(
+        socket_path=args.socket,
+        store_path=_store_path(args),
+        max_pending=args.max_pending,
+        max_frame_bytes=args.max_frame_bytes,
+        drain_timeout_s=args.drain_timeout,
+    )
+    server = CompileServer(_BACKEND, config)
+
+    def ready() -> None:
+        print(f"descendc serve: listening on {args.socket}", file=sys.stderr, flush=True)
 
     try:
-        compiled = _load(args.file)
-    except (DescendSyntaxError, DescendTypeError) as exc:
-        _print_failure(exc, args.file)
-        return 1
-    gpu_names = compiled.gpu_function_names()
-    if args.fun:
-        if args.fun not in gpu_names:
-            print(
-                f"error: `{args.fun}` is not a GPU function of {args.file} "
-                f"(GPU functions: {', '.join(gpu_names) or 'none'})",
-                file=sys.stderr,
-            )
-            return 2
-        gpu_names = (args.fun,)
-    chunks = []
-    for name in gpu_names:
-        if args.no_opt:
-            # Raw lowering, bypassing both the session cache and the
-            # optimization pipeline: what `lower.plan` produced, verbatim.
-            try:
-                plan = lower_device_plan(compiled.program.fun(name))
-            except PlanUnsupported as exc:
-                plan, reason = None, str(exc)
-        else:
-            plan, reason = compiled.device_plan(name)
-        if plan is None:
-            chunks.append(f"// {name}: falls back to the reference engine: {reason}\n")
-        else:
-            chunks.append(disassemble(plan))
-    print("\n".join(chunks), end="")
+        asyncio.run(server.run(on_ready=ready))
+    except OSError as exc:
+        print(f"error: cannot serve on {args.socket!r}: {exc}", file=sys.stderr)
+        return 2
+    print("descendc serve: drained and stopped", file=sys.stderr)
     return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    op = args.op
+    needs_file = op in (OP_CHECK, OP_COMPILE, OP_PRINT, OP_PLAN)
+    if needs_file and not args.file:
+        print(f"error: client op {op!r} requires a file argument", file=sys.stderr)
+        return 2
+    options = {"no_opt": True} if getattr(args, "no_opt", False) else {}
+    # Send the program text inline (named after the local file): the daemon
+    # needs no shared filesystem view, and the compile is cache-identical to
+    # a local `descendc <op> <file>` run, which keys units by this name.
+    source = None
+    if needs_file:
+        try:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {args.file!r}: {exc}", file=sys.stderr)
+            return 2
+    request = Request(
+        op=op,
+        source=source,
+        name=args.file if needs_file else None,
+        fun=getattr(args, "fun", None),
+        options=options,
+    )
+    client = DescendClient(args.socket, timeout=args.timeout)
+    try:
+        with client:
+            response = client.handle(request)
+    except (OSError, ProtocolError) as exc:
+        print(f"error: cannot reach daemon at {args.socket!r}: {exc}", file=sys.stderr)
+        return 2
+    if getattr(args, "timings", False) and response.pass_tiers:
+        print("pass tiers (daemon):", file=sys.stderr)
+        for pass_name, tiers in sorted(response.pass_tiers.items()):
+            breakdown = ", ".join(f"{tier} {count}" for tier, count in sorted(tiers.items()))
+            print(f"  {pass_name:<16} {breakdown}", file=sys.stderr)
+    return _emit(args, response)
 
 
 def cmd_figure8(args: argparse.Namespace) -> int:
@@ -187,11 +262,15 @@ def cmd_figure8(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    workload_flags = (
+        args.descend or args.benchmarks or args.sizes or args.scales
+        or args.scale is not None or args.jobs is not None or args.budget is not None
+    )
+    if args.compile and args.serve:
+        print("error: --compile and --serve are mutually exclusive", file=sys.stderr)
+        return 2
     if args.compile:
-        if (
-            args.descend or args.benchmarks or args.sizes or args.scales
-            or args.scale is not None or args.jobs is not None or args.budget is not None
-        ):
+        if workload_flags:
             print(
                 "error: --compile benchmarks the compiler itself and does not take "
                 "workload flags (--descend/--benchmarks/--sizes/--scales/--scale/"
@@ -211,6 +290,31 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if args.json:
             forwarded.append("--json")
         return compilebench.main(forwarded)
+
+    if args.serve:
+        if workload_flags:
+            print(
+                "error: --serve load-tests the compile-service daemon and does not "
+                "take workload flags (--descend/--benchmarks/--sizes/--scales/"
+                "--scale/--jobs/--budget); combine it only with "
+                "--quick/--requests/--clients/--output/--json",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.benchsuite import servebench
+
+        forwarded = []
+        if args.quick:
+            forwarded.append("--quick")
+        if args.requests is not None:
+            forwarded += ["--requests", str(args.requests)]
+        if args.clients is not None:
+            forwarded += ["--clients", str(args.clients)]
+        if args.output:
+            forwarded += ["--output", args.output]
+        if args.json:
+            forwarded.append("--json")
+        return servebench.main(forwarded)
 
     from repro.benchsuite import enginebench
 
@@ -252,7 +356,9 @@ def cmd_cache(args: argparse.Namespace) -> int:
         )
         return 2
     try:
-        store = _open_store(path)
+        from repro.descend.store import ArtifactStore
+
+        store = ArtifactStore(path)
     except OSError as exc:
         print(f"error: cannot open artifact store {path!r}: {exc}", file=sys.stderr)
         return 2
@@ -295,62 +401,113 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    timings_help = "print the compile session's per-pass timing breakdown"
-    store_help = (
-        "attach a persistent artifact store at PATH (compiles warm across "
-        "invocations; default: the REPRO_STORE environment variable)"
+    # Shared parent parsers: every sub-command accepts --store/--timings
+    # uniformly; the plan-shaped ones add --fun/--no-opt.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--timings", action="store_true",
+        help="print the compile session's per-pass timing breakdown",
     )
-
-    check = sub.add_parser("check", help="parse and type check a .descend file")
-    check.add_argument("file")
-    check.add_argument("--timings", action="store_true", help=timings_help)
-    check.add_argument("--store", default=None, help=store_help)
-    check.set_defaults(func=cmd_check)
-
-    compile_ = sub.add_parser("compile", help="emit CUDA C++ for a .descend file")
-    compile_.add_argument("file")
-    compile_.add_argument("-o", "--output")
-    compile_.add_argument("--timings", action="store_true", help=timings_help)
-    compile_.add_argument("--store", default=None, help=store_help)
-    compile_.set_defaults(func=cmd_compile)
-
-    print_ = sub.add_parser("print", help="pretty-print a .descend file")
-    print_.add_argument("file")
-    print_.add_argument("--timings", action="store_true", help=timings_help)
-    print_.add_argument("--store", default=None, help=store_help)
-    print_.set_defaults(func=cmd_print)
-
-    plan = sub.add_parser(
-        "plan", help="disassemble the device-plan IR of a .descend file's GPU functions"
+    common.add_argument(
+        "--store", default=None,
+        help="attach a persistent artifact store at PATH (compiles warm across "
+        "invocations; default: the REPRO_STORE environment variable)",
     )
-    plan.add_argument("file")
-    plan.add_argument("--fun", default=None, help="disassemble only this GPU function")
-    plan.add_argument(
-        "--no-opt", action="store_true",
+    plan_opts = argparse.ArgumentParser(add_help=False)
+    plan_opts.add_argument("--fun", default=None, help="disassemble only this GPU function")
+    plan_opts.add_argument(
+        "--no-opt", action="store_true", dest="no_opt",
         help="show the raw lowering, before the lower.plan.opt passes",
     )
-    plan.add_argument("--timings", action="store_true", help=timings_help)
-    plan.add_argument("--store", default=None, help=store_help)
-    plan.set_defaults(func=cmd_plan)
+
+    check = sub.add_parser(
+        "check", parents=[common], help="parse and type check a .descend file"
+    )
+    check.add_argument("file")
+    check.set_defaults(func=cmd_check, json=False)
+
+    compile_ = sub.add_parser(
+        "compile", parents=[common], help="emit CUDA C++ for a .descend file"
+    )
+    compile_.add_argument("file")
+    compile_.add_argument("-o", "--output")
+    compile_.set_defaults(func=cmd_compile, json=False)
+
+    print_ = sub.add_parser(
+        "print", parents=[common], help="pretty-print a .descend file"
+    )
+    print_.add_argument("file")
+    print_.set_defaults(func=cmd_print, json=False)
+
+    plan = sub.add_parser(
+        "plan", parents=[common, plan_opts],
+        help="disassemble the device-plan IR of a .descend file's GPU functions",
+    )
+    plan.add_argument("file")
+    plan.set_defaults(func=cmd_plan, json=False)
+
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="run the compile-service daemon (API schema v1 over a local socket)",
+    )
+    serve.add_argument(
+        "--socket", default=_default_socket(),
+        help="unix socket path to listen on (default: REPRO_SOCKET or a tmp path)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=64,
+        help="bound on queued compile requests before clients get `overloaded`",
+    )
+    serve.add_argument(
+        "--max-frame-bytes", type=int, default=8 * 1024 * 1024,
+        help="bound on one newline-delimited JSON protocol frame",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="graceful-shutdown bound on waiting for in-flight requests (seconds)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    client = sub.add_parser(
+        "client", parents=[common, plan_opts],
+        help="run one operation against a running compile-service daemon",
+    )
+    client.add_argument(
+        "op",
+        choices=(OP_CHECK, OP_COMPILE, OP_PRINT, OP_PLAN, OP_CACHE_STATS, OP_PING, OP_SHUTDOWN),
+    )
+    client.add_argument("file", nargs="?")
+    client.add_argument(
+        "--socket", default=_default_socket(),
+        help="unix socket path of the daemon (default: REPRO_SOCKET or a tmp path)",
+    )
+    client.add_argument("-o", "--output", help="write the compile op's CUDA here")
+    client.add_argument("--timeout", type=float, default=60.0)
+    client.add_argument("--json", action="store_true", help="print the full response frame")
+    client.set_defaults(func=cmd_client)
 
     cache = sub.add_parser("cache", help="manage the persistent artifact store")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
-    cache_stats = cache_sub.add_parser("stats", help="show store contents and counters")
-    cache_stats.add_argument("--store", default=None, help=store_help)
+    cache_stats = cache_sub.add_parser(
+        "stats", parents=[common], help="show store contents and counters"
+    )
     cache_stats.add_argument("--json", action="store_true")
     cache_stats.set_defaults(func=cmd_cache)
-    cache_clear = cache_sub.add_parser("clear", help="delete every stored artifact")
-    cache_clear.add_argument("--store", default=None, help=store_help)
+    cache_clear = cache_sub.add_parser(
+        "clear", parents=[common], help="delete every stored artifact"
+    )
     cache_clear.set_defaults(func=cmd_cache)
     cache_gc = cache_sub.add_parser(
-        "gc", help="reconcile the index with the blobs and enforce the size budget"
+        "gc", parents=[common],
+        help="reconcile the index with the blobs and enforce the size budget",
     )
-    cache_gc.add_argument("--store", default=None, help=store_help)
     cache_gc.add_argument("--max-bytes", type=int, default=None)
     cache_gc.add_argument("--json", action="store_true")
     cache_gc.set_defaults(func=cmd_cache)
 
-    fig8 = sub.add_parser("figure8", help="run the Figure 8 benchmark harness")
+    fig8 = sub.add_parser(
+        "figure8", parents=[common], help="run the Figure 8 benchmark harness"
+    )
     fig8.add_argument("--benchmarks", nargs="*")
     fig8.add_argument("--sizes", nargs="*")
     fig8.add_argument("--engine", choices=("reference", "vectorized"))
@@ -362,7 +519,8 @@ def build_parser() -> argparse.ArgumentParser:
     fig8.set_defaults(func=cmd_figure8)
 
     bench = sub.add_parser(
-        "bench", help="benchmark the reference vs the vectorized execution engine"
+        "bench", parents=[common],
+        help="benchmark the reference vs the vectorized execution engine",
     )
     bench.add_argument("--benchmarks", nargs="*")
     bench.add_argument("--sizes", nargs="*")
@@ -375,6 +533,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--compile", action="store_true",
         help="benchmark compile time instead: staged driver passes, cold vs cached "
         "(writes BENCH_compile_time.json)",
+    )
+    bench.add_argument(
+        "--serve", action="store_true",
+        help="load-test the compile-service daemon instead: requests/s and p50/p99 "
+        "latency, cold vs warm store (writes BENCH_serve_throughput.json)",
+    )
+    bench.add_argument(
+        "--requests", type=int, default=None,
+        help="total requests per --serve phase (default 200; --quick: 60)",
+    )
+    bench.add_argument(
+        "--clients", type=int, default=None,
+        help="concurrent client connections for --serve (default 4)",
     )
     bench.add_argument(
         "--scales", nargs="*", type=int,
@@ -391,7 +562,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-row wall-clock budget (seconds) for the reference-engine column "
         "of the Descend sweep; over-budget rows record it as skipped",
     )
-    bench.add_argument("--store", default=None, help=store_help)
     bench.add_argument("--output", help="path of the BENCH_*.json report")
     bench.add_argument("--json", action="store_true")
     bench.set_defaults(func=cmd_bench)
@@ -403,17 +573,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     # Attach (or detach) the persistent artifact store for this invocation;
-    # the `cache` sub-commands manage the store directly instead.
-    if args.command != "cache":
+    # `cache` manages the store directly and `client` defers to the daemon's.
+    if args.command not in ("cache", "client"):
         path = _store_path(args)
         try:
-            _SESSION.store = _open_store(path) if path else None
+            _BACKEND.attach_store_path(path)
         except OSError as exc:
             print(f"error: cannot open artifact store {path!r}: {exc}", file=sys.stderr)
             return 2
-    # Install the CLI session as the process-wide one so every consumer the
-    # sub-commands touch (interpreter launches, benchsuite sweeps) shares it.
-    previous = set_active_session(_SESSION)
+    # Install the backend's session as the process-wide one so every consumer
+    # the sub-commands touch (interpreter launches, benchsuite sweeps,
+    # the daemon's worker) shares it.
+    previous = set_active_session(_BACKEND.session)
     try:
         result = args.func(args)
         _print_timings(args)

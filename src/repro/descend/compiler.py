@@ -1,28 +1,27 @@
-"""High-level compiler API: the convenient entry point into Descend.
+"""Deprecated compiler entry points (use :mod:`repro.descend.api`).
 
->>> from repro.descend.compiler import compile_source
+This module was the original convenient entry point into Descend; the
+compile functions now live in :mod:`repro.descend.api`, the one public
+surface shared by the CLI, the compile-service daemon and the benchsuite:
+
+>>> from repro.descend.api import compile_source
 >>> compiled = compile_source(source_text)         # parse + type check
 >>> print(compiled.to_cuda().full_source())        # CUDA C++ translation
->>> kernel = compiled.kernel("transpose")          # launchable on the simulator
->>> result = kernel.launch(device, {...})
 
-These functions are thin façades over the staged
-:class:`~repro.descend.driver.CompilerDriver`: every call goes through the
-process-wide :class:`~repro.descend.driver.CompileSession`, so repeated
-compiles of the same source text (or of structurally equal builder-API
-programs) hit the content-addressed pass cache instead of re-parsing and
-re-checking.  Pass an explicit session via :class:`CompilerDriver` for
-isolation, or use :func:`~repro.descend.driver.session_scope`.  Attach a
-persistent :class:`~repro.descend.store.ArtifactStore`
-(``session.attach_store(ArtifactStore(path))``) to make the cache survive
-across processes.
-
-Programs built with :mod:`repro.descend.builder` go through
-:func:`compile_program` instead of :func:`compile_source`.
+:func:`compile_source` / :func:`compile_program` / :func:`compile_file`
+remain here as shims that emit a :class:`DeprecationWarning` and delegate
+to the facade.  The class/driver re-exports (:class:`CompilerDriver`,
+:class:`CompileSession`, :class:`ArtifactStore`, the active-session
+helpers) are *not* deprecated — their home modules
+(:mod:`repro.descend.driver`, :mod:`repro.descend.store`) are canonical
+and this module simply re-exports them.
 """
 
 from __future__ import annotations
 
+import warnings
+
+from repro.descend import api as _api
 from repro.descend.ast import terms as T
 from repro.descend.driver import (
     CompiledProgram,
@@ -47,19 +46,29 @@ __all__ = [
     "compile_file",
 ]
 
-_DRIVER = CompilerDriver()  # bound to the active session at call time
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.descend.compiler.{name} is deprecated; "
+        f"use repro.descend.api.{name} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def compile_source(text: str, name: str = "<descend>") -> CompiledProgram:
-    """Parse and type check Descend source text (cached by content hash)."""
-    return _DRIVER.compile_source(text, name)
+    """Deprecated alias of :func:`repro.descend.api.compile_source`."""
+    _deprecated("compile_source")
+    return _api.compile_source(text, name)
 
 
 def compile_program(program: T.Program) -> CompiledProgram:
-    """Type check a program built with the builder API (cached by AST)."""
-    return _DRIVER.compile_program(program)
+    """Deprecated alias of :func:`repro.descend.api.compile_program`."""
+    _deprecated("compile_program")
+    return _api.compile_program(program)
 
 
 def compile_file(path: str) -> CompiledProgram:
-    """Parse and type check a ``.descend`` file."""
-    return _DRIVER.compile_file(path)
+    """Deprecated alias of :func:`repro.descend.api.compile_file`."""
+    _deprecated("compile_file")
+    return _api.compile_file(path)

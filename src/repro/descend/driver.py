@@ -49,6 +49,7 @@ from __future__ import annotations
 import copy
 import hashlib
 import pickle
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
@@ -115,6 +116,10 @@ class PassTiming:
         }
 
 
+#: Sentinel distinguishing "evicted" from a stored ``None`` in :meth:`_touch`.
+_MISSING = object()
+
+
 def _detach_failure(exc: DescendError) -> DescendError:
     """An independent copy of a compile failure.
 
@@ -137,6 +142,15 @@ class CompileSession:
     a sweep, the interpreter across launches.  Keys are content hashes, so
     an *edited* program (different text, different AST) misses the cache and
     recompiles, while a byte-identical one hits.
+
+    Sessions are **thread-safe**: every cache map, the hit/miss and
+    per-pass counters, and the persistent-store write-back path are guarded
+    by one reentrant lock, so concurrent consumers (the compile-service
+    daemon's worker thread next to event-loop stats reads, tests hammering
+    one session from a pool) cannot corrupt shared state.  Compute passes
+    of a colliding key may still run twice — last write wins, both results
+    are identical by construction — but counters never tear and the
+    artifact store sees serialized writes from this process.
     """
 
     #: Caps for the content-addressed stores and the timing log.  Sessions
@@ -149,6 +163,9 @@ class CompileSession:
 
     def __init__(self, label: str = "session", store: Optional[object] = None) -> None:
         self.label = label
+        #: One reentrant lock for all shared mutable state (cache maps,
+        #: counters, timings) and the single-writer store write-back.
+        self._lock = threading.RLock()
         #: Optional persistent tier (an
         #: :class:`~repro.descend.store.cas.ArtifactStore`): misses in the
         #: in-memory maps fall through to it, cold results write back.
@@ -174,14 +191,21 @@ class CompileSession:
     def _store(self, cache: Dict, key: object, value: object) -> None:
         """Insert with LRU eviction (dicts preserve insertion order, and
         every cache hit reinserts its key at the end via :meth:`_touch`)."""
-        if key not in cache and len(cache) >= self.MAX_UNITS:
-            cache.pop(next(iter(cache)))
-        cache[key] = value
+        with self._lock:
+            if key not in cache and len(cache) >= self.MAX_UNITS:
+                cache.pop(next(iter(cache)))
+            cache[key] = value
 
-    @staticmethod
-    def _touch(cache: Dict, key: object) -> None:
-        """Move a hit key to the most-recently-used end of its cache."""
-        cache[key] = cache.pop(key)
+    def _touch(self, cache: Dict, key: object) -> None:
+        """Move a hit key to the most-recently-used end of its cache.
+
+        Tolerates the key having been evicted by a concurrent thread
+        between the caller's membership check and this reinsertion.
+        """
+        with self._lock:
+            value = cache.pop(key, _MISSING)
+            if value is not _MISSING:
+                cache[key] = value
 
     # -- persistent tier -------------------------------------------------------
     def attach_store(self, store: object) -> "CompileSession":
@@ -197,7 +221,8 @@ class CompileSession:
         ``None`` for keys that cannot be digested (those artifacts stay
         in-memory-only).
         """
-        memo = self._digests.get(key)
+        with self._lock:
+            memo = self._digests.get(key)
         if memo is not None:
             return memo if isinstance(memo, str) else None
         if isinstance(key, tuple) and len(key) == 3 and key[0] == "source":
@@ -232,7 +257,11 @@ class CompileSession:
         digest = self.artifact_digest(kind, key, extra)
         if digest is None:
             return None
-        return self.store.load(digest)
+        # The store handles cross-process races itself (flock); the session
+        # lock serializes this process's threads over the store's own
+        # in-memory bookkeeping (pending LRU stamps, counters).
+        with self._lock:
+            return self.store.load(digest)
 
     def store_put(
         self, kind: str, key: object, value: object, extra: str = "", label: Optional[str] = None
@@ -248,7 +277,11 @@ class CompileSession:
         digest = self.artifact_digest(kind, key, extra)
         if digest is None:
             return False
-        return self.store.store(digest, value, kind=label or kind)
+        # Single writer per process: concurrent threads take turns, so the
+        # store's index read-modify-write and its touch batching only ever
+        # see one in-process mutator (the flock covers other processes).
+        with self._lock:
+            return self.store.store(digest, value, kind=label or kind)
 
     # -- keys ------------------------------------------------------------------
     @staticmethod
@@ -275,15 +308,16 @@ class CompileSession:
 
     # -- bookkeeping -----------------------------------------------------------
     def record(self, timing: PassTiming) -> PassTiming:
-        if len(self.timings) >= self.MAX_TIMINGS:
-            del self.timings[: self.MAX_TIMINGS // 2]
-        self.timings.append(timing)
-        tiers = self.pass_counts.setdefault(timing.name, {})
-        tiers[timing.tier] = tiers.get(timing.tier, 0) + 1
-        if timing.cached:
-            self.hits += 1
-        else:
-            self.misses += 1
+        with self._lock:
+            if len(self.timings) >= self.MAX_TIMINGS:
+                del self.timings[: self.MAX_TIMINGS // 2]
+            self.timings.append(timing)
+            tiers = self.pass_counts.setdefault(timing.name, {})
+            tiers[timing.tier] = tiers.get(timing.tier, 0) + 1
+            if timing.cached:
+                self.hits += 1
+            else:
+                self.misses += 1
         return timing
 
     def pass_counts_snapshot(self) -> Dict[str, Dict[str, int]]:
@@ -293,7 +327,8 @@ class CompileSession:
         :attr:`timings` (trimmed past :data:`MAX_TIMINGS`, which would
         silently under-count), the counters never lose history.
         """
-        return {name: dict(tiers) for name, tiers in self.pass_counts.items()}
+        with self._lock:
+            return {name: dict(tiers) for name, tiers in self.pass_counts.items()}
 
     def pass_counts_since(
         self, snapshot: Dict[str, Dict[str, int]]
@@ -304,8 +339,9 @@ class CompileSession:
         show ``lower.plan`` served from the ``store`` tier with zero
         ``compute`` entries — the cross-process plan-reuse guarantee.
         """
+        current = self.pass_counts_snapshot()
         delta: Dict[str, Dict[str, int]] = {}
-        for name, tiers in self.pass_counts.items():
+        for name, tiers in current.items():
             before = snapshot.get(name, {})
             changed = {
                 tier: count - before.get(tier, 0)
@@ -317,6 +353,10 @@ class CompileSession:
         return delta
 
     def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> Dict[str, object]:
         stats: Dict[str, object] = {
             "label": self.label,
             "programs": len(self._programs),
@@ -332,6 +372,10 @@ class CompileSession:
         return stats
 
     def clear(self) -> None:
+        with self._lock:
+            self._clear_locked()
+
+    def _clear_locked(self) -> None:
         self._programs.clear()
         self._failures.clear()
         self._plans.clear()
@@ -374,6 +418,17 @@ class CompileSession:
 
     # -- cached lowerings --------------------------------------------------------
     def device_plan(
+        self,
+        program: T.Program,
+        fun_name: str,
+        key: Optional[object] = None,
+        unit: str = "<program>",
+    ):
+        """The (cached) device plan of one GPU function (thread-safe)."""
+        with self._lock:
+            return self._device_plan_locked(program, fun_name, key, unit)
+
+    def _device_plan_locked(
         self,
         program: T.Program,
         fun_name: str,
@@ -485,7 +540,17 @@ class CompileSession:
         key: Optional[object] = None,
         unit: str = "<program>",
     ):
-        """The (cached) CUDA C++ translation of a program."""
+        """The (cached) CUDA C++ translation of a program (thread-safe)."""
+        with self._lock:
+            return self._cuda_module_locked(program, nat_env, key, unit)
+
+    def _cuda_module_locked(
+        self,
+        program: T.Program,
+        nat_env: Optional[Dict[str, int]] = None,
+        key: Optional[object] = None,
+        unit: str = "<program>",
+    ):
         from repro.descend.codegen import generate_cuda
 
         start = time.perf_counter()
@@ -521,7 +586,13 @@ class CompileSession:
     def printed_source(
         self, program: T.Program, key: Optional[object] = None, unit: str = "<program>"
     ) -> str:
-        """The (cached) pretty-printed surface syntax of a program."""
+        """The (cached) pretty-printed surface syntax of a program (thread-safe)."""
+        with self._lock:
+            return self._printed_source_locked(program, key, unit)
+
+    def _printed_source_locked(
+        self, program: T.Program, key: Optional[object] = None, unit: str = "<program>"
+    ) -> str:
         start = time.perf_counter()
         if key is None:
             key = self.program_key(program)
@@ -670,6 +741,19 @@ class CompilerDriver:
 
     # -- passes ------------------------------------------------------------------
     def _lookup(
+        self,
+        session: CompileSession,
+        key: object,
+        unit: str,
+        pass_name: str,
+        start: float,
+    ) -> Optional[CompiledProgram]:
+        # Atomic check-touch-read over the session maps: a concurrent
+        # eviction between membership test and read must not KeyError.
+        with session._lock:
+            return self._lookup_locked(session, key, unit, pass_name, start)
+
+    def _lookup_locked(
         self,
         session: CompileSession,
         key: object,

@@ -1,0 +1,16 @@
+"""The compile-service daemon (``descendc serve``).
+
+One long-running process keeps a hot, store-attached compile session and
+serves ``check`` / ``compile`` / ``print`` / ``plan`` / ``cache.stats`` /
+``ping`` / ``shutdown`` to local clients over a newline-delimited JSON
+protocol (API schema v1, :mod:`repro.descend.api`).  See
+:mod:`repro.descend.serve.server` for the execution model (single compile
+worker, request coalescing, bounded-queue backpressure, graceful drain).
+"""
+
+from __future__ import annotations
+
+from repro.descend.serve.protocol import ServeConfig, coalesce_key
+from repro.descend.serve.server import CompileServer, ServerThread
+
+__all__ = ["CompileServer", "ServerThread", "ServeConfig", "coalesce_key"]

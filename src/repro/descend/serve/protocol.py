@@ -1,0 +1,54 @@
+"""Server-side protocol helpers for the compile-service daemon.
+
+The wire schema itself (frame codec, :class:`~repro.descend.api.Request` /
+:class:`~repro.descend.api.Response`, error codes) lives in
+:mod:`repro.descend.api` — it is shared with :class:`DescendClient`.  This
+module adds what only the *server* needs: the coalescing key that detects
+identical in-flight work, and the tunables bundle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.descend.api import COMPILE_OPS, MAX_FRAME_BYTES, Request, encode_frame
+
+#: Defaults for the daemon's tunables (overridable via ``descendc serve``).
+DEFAULT_MAX_PENDING = 64
+DEFAULT_DRAIN_TIMEOUT_S = 10.0
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a :class:`~repro.descend.serve.server.CompileServer` needs.
+
+    ``max_pending`` bounds the compile queue (backpressure: requests past
+    the bound get a structured ``overloaded`` error instead of unbounded
+    buffering); ``max_frame_bytes`` bounds one protocol line;
+    ``drain_timeout_s`` bounds the graceful-shutdown wait for in-flight
+    work.
+    """
+
+    socket_path: str
+    store_path: Optional[str] = None
+    max_pending: int = DEFAULT_MAX_PENDING
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S
+
+
+def coalesce_key(request: Request) -> Optional[str]:
+    """The digest under which identical in-flight requests coalesce.
+
+    Two requests coalesce when they would run the exact same compile: same
+    op, same source-or-path, same function selection and options.  The
+    request ``id`` deliberately does not participate — it is per-client
+    labelling, not content.  Non-compiling ops (``ping``, ``cache.stats``,
+    ``shutdown``) never coalesce; they return ``None``.
+    """
+    if request.op not in COMPILE_OPS:
+        return None
+    frame = request.to_wire()
+    frame.pop("id", None)
+    return hashlib.sha256(encode_frame(frame)).hexdigest()

@@ -245,3 +245,53 @@ def test_bench_descend_budget_skips_reference(tmp_path, capsys):
 def test_bench_compile_rejects_jobs(capsys):
     assert main(["bench", "--compile", "--jobs", "2"]) == 2
     assert "--jobs" in capsys.readouterr().err
+
+
+def test_client_without_daemon_reports_connection_error(tmp_path, capsys):
+    sock = str(tmp_path / "nobody-home.sock")
+    assert main(["client", "ping", "--socket", sock]) == 2
+    assert "cannot reach daemon" in capsys.readouterr().err
+
+
+def test_client_file_ops_require_a_file(capsys):
+    assert main(["client", "compile", "--socket", "/tmp/x.sock"]) == 2
+    assert "requires a file" in capsys.readouterr().err
+
+
+def test_serve_and_client_round_trip(good_file, tmp_path, capsys):
+    """`descendc serve` in a subprocess, driven by `descendc client`."""
+    import os
+    import subprocess
+    import sys
+
+    from repro.descend.api import DescendClient
+
+    sock = str(tmp_path / "cli-serve.sock")
+    src = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src"))
+    env = dict(os.environ, PYTHONPATH=src)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--socket", sock,
+         "--store", str(tmp_path / "store")],
+        env=env, stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        assert DescendClient(sock).wait_until_ready(timeout=30.0)
+        assert main(["client", "ping", "--socket", sock]) == 0
+        assert "pong" in capsys.readouterr().out
+
+        assert main(["client", "compile", good_file, "--socket", sock]) == 0
+        assert "__global__ void scale_vec" in capsys.readouterr().out
+
+        assert main(["client", "plan", good_file, "--socket", sock]) == 0
+        assert capsys.readouterr().out.startswith("plan scale_vec exec gpu.grid")
+
+        assert main(["client", "plan", good_file, "--fun", "nope", "--socket", sock]) == 2
+        assert "not a GPU function" in capsys.readouterr().err
+
+        assert main(["client", "shutdown", "--socket", sock]) == 0
+        assert "server stopping" in capsys.readouterr().out
+        assert proc.wait(timeout=30.0) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()

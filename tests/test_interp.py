@@ -25,7 +25,7 @@ from repro.descend.builder import (
     uniq_ref,
     var,
 )
-from repro.descend.compiler import compile_program, compile_source
+from repro.descend.api import compile_program, compile_source
 from repro.descend.interp import DescendKernel, HostInterpreter, PlanUnsupported, compile_device_plan
 from repro.descend.typeck import check_program
 from repro.descend_programs import matmul, reduce, scan, transpose, unsafe, vector

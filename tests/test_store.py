@@ -407,10 +407,10 @@ class TestCacheCli:
         # Fresh session, as a second OS process would have: zero compile
         # passes, byte-identical CUDA (the ISSUE acceptance criterion).
         from repro import cli as cli_module
+        from repro.descend.api import LocalBackend
 
         fresh = CompileSession(label="cli")
-        cli_module._SESSION = fresh
-        cli_module._DRIVER = CompilerDriver(fresh)
+        cli_module._BACKEND = LocalBackend(session=fresh)
         assert cli_main(
             ["compile", str(good), "-o", str(out_warm), "--timings", *store_arg]
         ) == 0

@@ -119,6 +119,7 @@ class EngineBenchRow:
     variant: str = "cudalite"
     scale: int = 1
     skipped: Optional[str] = None
+    retries: int = 0
 
     @property
     def cycles_match(self) -> Optional[bool]:
@@ -148,6 +149,7 @@ class EngineBenchRow:
             "speedup": _json_number(self.speedup),
             "footprint_bytes": self.footprint_bytes,
             "skipped": self.skipped,
+            "retries": self.retries,
         }
 
 

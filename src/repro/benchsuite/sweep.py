@@ -12,33 +12,56 @@ Guarantees relative to the serial sweep:
 * **Same rows, same order.**  Workers return rows tagged with their cell
   index; the orchestrator re-assembles them in sweep order, so the merged
   ``BENCH_*.json`` is byte-identical to the serial report modulo the
-  timing fields (wall-clock, speedup, ``created_unix``).  Cycle counts,
-  race counts, parity verdicts, footprints and budget-skip decisions are
-  all deterministic and process-independent.
+  timing fields (wall-clock, speedup, ``created_unix``) and the
+  ``retries`` column.  Cycle counts, race counts, parity verdicts,
+  footprints and budget-skip decisions are all deterministic and
+  process-independent.
 * **Shared warmth.**  Every worker attaches the same persistent
   :class:`~repro.descend.store.ArtifactStore` (when one is configured), so
   shard N does not re-typecheck the programs shard M already compiled —
   the store is the cross-process analogue of the sweep-wide
   :class:`~repro.descend.driver.CompileSession`.
-* **Fail loud.**  A cell that raises in a worker (parity violation, wrong
-  result, crash) aborts the whole sweep with a :class:`BenchmarkError`
-  naming the cell, exactly like the serial path.
+* **Retry, then fail loud.**  A cell that fails in a worker — an
+  exception returned as data, or a worker process dying outright (the
+  pool turns that into ``BrokenProcessPool``) — is retried on a fresh
+  worker in the next round, up to :data:`DEFAULT_MAX_ATTEMPTS` total
+  attempts; a surviving row records how many retries it cost in its
+  ``retries`` column.  Only a cell that fails *every* attempt aborts the
+  sweep with a :class:`BenchmarkError` naming the cell — a parity
+  violation or wrong result is still loud, a flaky worker is not fatal.
 
 Workers are ``spawn``-ed, not forked: each starts from a cold interpreter
 so the "warming from the shared store" path is the one actually exercised,
-and no lock or session state is inherited mid-flight.
+and no lock or session state is inherited mid-flight.  The worker-spawn
+and cell-execution seams carry :mod:`repro.faults` injection points
+(``sweep.spawn`` / ``sweep.cell``); each retry round advances
+``REPRO_FAULTS_EPOCH`` before building its pool, so injected worker
+failures are deterministic per round and chaos runs replay exactly.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Dict, List, Optional, Sequence
 
+from repro import faults
 from repro.errors import BenchmarkError
 
 #: Hard cap on worker processes; sweeps have at most a few dozen cells.
 MAX_JOBS = 32
+
+#: Total tries per cell (1 first run + retries) before the sweep aborts.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+def default_max_attempts() -> int:
+    """Per-cell attempt bound: ``REPRO_SWEEP_ATTEMPTS`` or the default."""
+    try:
+        return max(1, int(os.environ.get("REPRO_SWEEP_ATTEMPTS", DEFAULT_MAX_ATTEMPTS)))
+    except ValueError:
+        return DEFAULT_MAX_ATTEMPTS
 
 
 def merge_pass_totals(
@@ -53,6 +76,7 @@ def merge_pass_totals(
 
 def _worker_init(store_path: Optional[str]) -> None:
     """Per-worker process setup: a fresh session warmed by the shared store."""
+    faults.maybe_raise("sweep.spawn")
     from repro.descend.driver import CompileSession, set_active_session
 
     session = CompileSession(label=f"sweep-worker-{os.getpid()}")
@@ -80,6 +104,7 @@ def _run_cell(cell: Dict[str, object]):
     session = active_session()
     mark = session.pass_counts_snapshot()
     try:
+        faults.maybe_raise("sweep.cell")
         row = compare_engines(
             str(cell["benchmark"]),
             str(cell["size"]),
@@ -93,12 +118,19 @@ def _run_cell(cell: Dict[str, object]):
         return cell["index"], None, f"{type(exc).__name__}: {exc}", None
 
 
+def _cell_label(cell: Dict[str, object]) -> str:
+    return (
+        f"{cell['variant']}:{cell['benchmark']}/{cell['size']} (scale {cell['scale']})"
+    )
+
+
 def run_cells(
     cells: Sequence[Dict[str, object]],
     jobs: int,
     store_path: Optional[str] = None,
     progress=None,
     pass_totals: Optional[Dict[str, Dict[str, int]]] = None,
+    max_attempts: Optional[int] = None,
 ) -> List[object]:
     """Run sweep cells across ``jobs`` worker processes; rows in sweep order.
 
@@ -106,30 +138,84 @@ def run_cells(
     ``scale``, ``repeats`` and ``budget_s`` (see :func:`_run_cell`).  When
     ``pass_totals`` is given, every worker's compile-pass summary is merged
     into it (the ``compile_passes`` field of the bench report).
+
+    Failed cells are retried on a fresh pool in later rounds, up to
+    ``max_attempts`` tries per cell (default :func:`default_max_attempts`);
+    each surviving row's ``retries`` attribute records its failed tries.
     """
     jobs = max(1, min(int(jobs), MAX_JOBS, len(cells) or 1))
+    if max_attempts is None:
+        max_attempts = default_max_attempts()
     context = multiprocessing.get_context("spawn")
+    total = len(cells)
     rows: Dict[int, object] = {}
-    with context.Pool(
-        processes=jobs, initializer=_worker_init, initargs=(store_path,)
-    ) as pool:
-        for index, row, error, passes in pool.imap_unordered(_run_cell, cells, chunksize=1):
-            if error is not None:
-                cell = next(c for c in cells if c["index"] == index)
-                pool.terminate()
+    remaining: Dict[int, Dict[str, object]] = {
+        int(cell["index"]): cell for cell in cells  # type: ignore[arg-type]
+    }
+    attempts: Dict[int, int] = {index: 0 for index in remaining}
+    round_no = 0
+    while remaining:
+        # Advance the fault epoch per retry round *before* the pool exists:
+        # spawned workers inherit it, so "fail in round 0, heal in round 1"
+        # chaos plans are expressible and deterministic (worker-local hit
+        # counters restart with every spawned process).
+        epoch_before = os.environ.get(faults.ENV_EPOCH)
+        os.environ[faults.ENV_EPOCH] = str(round_no)
+        failed: Dict[int, str] = {}
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(remaining)),
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(store_path,),
+            ) as pool:
+                futures = {
+                    pool.submit(_run_cell, cell): index
+                    for index, cell in remaining.items()
+                }
+                for future in as_completed(futures):
+                    submitted_index = futures[future]
+                    try:
+                        index, row, error, passes = future.result()
+                    except Exception as exc:  # noqa: BLE001 - a worker died hard
+                        # BrokenProcessPool (worker crash, spawn failure) or a
+                        # result that would not unpickle: retryable, like any
+                        # in-worker error.
+                        failed[submitted_index] = f"{type(exc).__name__}: {exc}"
+                        continue
+                    if error is not None:
+                        failed[int(index)] = str(error)
+                        continue
+                    index = int(index)
+                    row.retries = attempts[index]
+                    rows[index] = row
+                    del remaining[index]
+                    if pass_totals is not None and passes:
+                        merge_pass_totals(pass_totals, passes)
+                    if progress is not None:
+                        progress(
+                            f"[{len(rows)}/{total}] merged "
+                            f"{getattr(row, 'benchmark', '?')}/{getattr(row, 'size', '?')}"
+                            f" (scale {getattr(row, 'scale', '?')})"
+                        )
+        finally:
+            if epoch_before is None:
+                os.environ.pop(faults.ENV_EPOCH, None)
+            else:
+                os.environ[faults.ENV_EPOCH] = epoch_before
+        for index, error in failed.items():
+            attempts[index] += 1
+            if attempts[index] >= max_attempts:
                 raise BenchmarkError(
-                    f"sweep cell {cell['variant']}:{cell['benchmark']}/{cell['size']}"
-                    f" (scale {cell['scale']}) failed in a worker: {error}"
+                    f"sweep cell {_cell_label(remaining[index])} failed in a worker "
+                    f"after {attempts[index]} attempt(s): {error}"
                 )
-            rows[int(index)] = row  # type: ignore[arg-type]
-            if pass_totals is not None and passes:
-                merge_pass_totals(pass_totals, passes)
             if progress is not None:
                 progress(
-                    f"[{len(rows)}/{len(cells)}] merged "
-                    f"{getattr(row, 'benchmark', '?')}/{getattr(row, 'size', '?')}"
-                    f" (scale {getattr(row, 'scale', '?')})"
+                    f"retrying {_cell_label(remaining[index])} "
+                    f"(attempt {attempts[index] + 1}/{max_attempts}): {error}"
                 )
+        round_no += 1
     return [rows[index] for index in sorted(rows)]
 
 

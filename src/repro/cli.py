@@ -25,9 +25,12 @@ Sub-commands:
     protocol (API schema v1).  Identical in-flight compiles coalesce, the
     queue is bounded (backpressure), SIGTERM drains gracefully.
 
-``descendc client OP [file] [--socket PATH]``
+``descendc client OP [file] [--socket PATH] [--retries N] [--deadline-ms MS]``
     Run one operation against a running daemon and print the result exactly
-    like the corresponding local sub-command would.
+    like the corresponding local sub-command would.  Idempotent ops retry
+    with bounded backoff on connection drops and ``overloaded`` pushback;
+    every structured error maps to a distinct exit status (see
+    :data:`EXIT_CODES`).
 
 ``descendc figure8 [--sizes small ...] [--engine vectorized] [--scale N]``
     Run the benchmark harness reproducing Figure 8 of the paper.
@@ -66,9 +69,23 @@ from typing import Optional, Sequence
 
 from repro.descend.api import (
     ERR_BAD_REQUEST,
+    ERR_COMPILE,
+    ERR_DEADLINE,
+    ERR_INTERNAL,
+    ERR_IO,
+    ERR_MALFORMED,
+    ERR_OVERLOADED,
+    ERR_OVERSIZED,
+    ERR_RETRIES_EXHAUSTED,
+    ERR_SHUTTING_DOWN,
+    ERR_SYNTAX,
+    ERR_TYPE,
+    ERR_UNKNOWN_OP,
+    ERR_UNSUPPORTED_VERSION,
     OP_CACHE_STATS,
     OP_CHECK,
     OP_COMPILE,
+    OP_HEALTH,
     OP_PING,
     OP_PLAN,
     OP_PRINT,
@@ -78,6 +95,7 @@ from repro.descend.api import (
     ProtocolError,
     Request,
     Response,
+    RetryPolicy,
 )
 from repro.descend.driver import set_active_session
 from repro.errors import DescendError
@@ -85,6 +103,34 @@ from repro.errors import DescendError
 #: The backend shared by every sub-command of one CLI invocation (and, like
 #: the old shared session, by repeated ``main()`` calls in one process).
 _BACKEND = LocalBackend(label="cli")
+
+#: Every structured error code maps to a distinct nonzero exit status so
+#: shell callers can branch on *why* an operation failed without parsing
+#: stderr.  1 and 2 keep their historical meanings (diagnosed program
+#: error / bad usage); codes this table cannot name fall back to 1.
+EXIT_CODES = {
+    ERR_TYPE: 1,
+    ERR_BAD_REQUEST: 2,
+    ERR_SYNTAX: 3,
+    ERR_COMPILE: 4,
+    ERR_IO: 5,
+    ERR_MALFORMED: 6,
+    ERR_OVERSIZED: 7,
+    ERR_UNSUPPORTED_VERSION: 8,
+    ERR_UNKNOWN_OP: 9,
+    ERR_OVERLOADED: 10,
+    ERR_SHUTTING_DOWN: 11,
+    ERR_INTERNAL: 12,
+    ERR_RETRIES_EXHAUSTED: 13,
+    ERR_DEADLINE: 14,
+}
+
+
+def exit_code(response: Response) -> int:
+    """The process exit status for one API response (0 when ok)."""
+    if response.ok:
+        return 0
+    return EXIT_CODES.get(response.error_code, 1)
 
 
 def _default_socket() -> str:
@@ -114,7 +160,7 @@ def _print_response_failure(response: Response) -> int:
         print(rendered, file=sys.stderr)
     if not response.diagnostics:
         print(f"error: {response.error_message}", file=sys.stderr)
-    return 2 if response.error_code == ERR_BAD_REQUEST else 1
+    return exit_code(response)
 
 
 def _emit(args: argparse.Namespace, response: Response) -> int:
@@ -125,7 +171,7 @@ def _emit(args: argparse.Namespace, response: Response) -> int:
     """
     if getattr(args, "json", False):
         print(_json.dumps(response.to_wire(), indent=2))
-        return 0 if response.ok else (2 if response.error_code == ERR_BAD_REQUEST else 1)
+        return exit_code(response)
     if not response.ok:
         return _print_response_failure(response)
     op = response.op
@@ -150,6 +196,8 @@ def _emit(args: argparse.Namespace, response: Response) -> int:
     elif op == OP_PING:
         artifacts = response.artifacts
         print(f"pong: pid {artifacts.get('pid')}, {artifacts.get('requests')} requests served")
+    elif op == OP_HEALTH:
+        print(_json.dumps(response.artifacts, indent=2))
     elif op == OP_SHUTDOWN:
         print("server stopping")
     return 0
@@ -189,6 +237,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         max_frame_bytes=args.max_frame_bytes,
         drain_timeout_s=args.drain_timeout,
+        read_timeout_s=args.read_timeout if args.read_timeout > 0 else None,
     )
     server = CompileServer(_BACKEND, config)
 
@@ -211,6 +260,8 @@ def cmd_client(args: argparse.Namespace) -> int:
         print(f"error: client op {op!r} requires a file argument", file=sys.stderr)
         return 2
     options = {"no_opt": True} if getattr(args, "no_opt", False) else {}
+    if args.deadline_ms is not None:
+        options["deadline_ms"] = args.deadline_ms
     # Send the program text inline (named after the local file): the daemon
     # needs no shared filesystem view, and the compile is cache-identical to
     # a local `descendc <op> <file>` run, which keys units by this name.
@@ -229,13 +280,22 @@ def cmd_client(args: argparse.Namespace) -> int:
         fun=getattr(args, "fun", None),
         options=options,
     )
-    client = DescendClient(args.socket, timeout=args.timeout)
+    retry = None
+    if args.retries is not None:
+        retry = RetryPolicy(max_attempts=max(1, args.retries))
+    client = DescendClient(args.socket, timeout=args.timeout, retry=retry)
+    # No eager connect: handle() owns connection + retry, so a daemon that
+    # is briefly down or restarting is covered by the same backoff policy as
+    # a dropped mid-request connection.  Idempotent ops come back as
+    # structured responses either way; only non-retryable ops (shutdown)
+    # can still raise here.
     try:
-        with client:
-            response = client.handle(request)
+        response = client.handle(request)
     except (OSError, ProtocolError) as exc:
         print(f"error: cannot reach daemon at {args.socket!r}: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_CODES[ERR_IO]
+    finally:
+        client.close()
     if getattr(args, "timings", False) and response.pass_tiers:
         print("pass tiers (daemon):", file=sys.stderr)
         for pass_name, tiers in sorted(response.pass_tiers.items()):
@@ -466,6 +526,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=10.0,
         help="graceful-shutdown bound on waiting for in-flight requests (seconds)",
     )
+    serve.add_argument(
+        "--read-timeout", type=float, default=300.0,
+        help="per-connection idle bound between request frames (seconds); "
+        "0 disables the idle kick",
+    )
     serve.set_defaults(func=cmd_serve)
 
     client = sub.add_parser(
@@ -474,7 +539,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client.add_argument(
         "op",
-        choices=(OP_CHECK, OP_COMPILE, OP_PRINT, OP_PLAN, OP_CACHE_STATS, OP_PING, OP_SHUTDOWN),
+        choices=(
+            OP_CHECK, OP_COMPILE, OP_PRINT, OP_PLAN,
+            OP_CACHE_STATS, OP_PING, OP_HEALTH, OP_SHUTDOWN,
+        ),
     )
     client.add_argument("file", nargs="?")
     client.add_argument(
@@ -483,6 +551,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client.add_argument("-o", "--output", help="write the compile op's CUDA here")
     client.add_argument("--timeout", type=float, default=60.0)
+    client.add_argument(
+        "--retries", type=int, default=None,
+        help="attempts per idempotent op before a structured retries-exhausted "
+        "error (default 3; 1 disables retrying)",
+    )
+    client.add_argument(
+        "--deadline-ms", type=int, default=None, dest="deadline_ms",
+        help="server-side queueing deadline: the daemon answers deadline-exceeded "
+        "instead of compiling if the request waited longer than this",
+    )
     client.add_argument("--json", action="store_true", help="print the full response frame")
     client.set_defaults(func=cmd_client)
 

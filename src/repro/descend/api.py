@@ -13,7 +13,8 @@ points.  It has three layers, innermost first:
 
 * **Requests.**  :class:`Request` / :class:`Response` are the *versioned*
   (``v = 1``) operation schema: ``check`` / ``compile`` / ``print`` /
-  ``plan`` / ``cache.stats`` / ``ping`` / ``shutdown``, each carrying
+  ``plan`` / ``cache.stats`` / ``ping`` / ``health`` / ``shutdown``, each
+  carrying
   source-or-path plus options in, and status, JSON-safe artifacts,
   rendered diagnostics and pass timings/tiers out.  The schema is what
   travels over the daemon's newline-delimited JSON protocol, and
@@ -34,6 +35,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import socket
 import threading
 import time
@@ -54,6 +56,7 @@ __all__ = [
     "ProtocolError",
     "Request",
     "Response",
+    "RetryPolicy",
     "LocalBackend",
     "DescendClient",
     "encode_frame",
@@ -76,12 +79,23 @@ OP_PRINT = "print"
 OP_PLAN = "plan"
 OP_CACHE_STATS = "cache.stats"
 OP_PING = "ping"
+OP_HEALTH = "health"
 OP_SHUTDOWN = "shutdown"
 
-OPS = (OP_CHECK, OP_COMPILE, OP_PRINT, OP_PLAN, OP_CACHE_STATS, OP_PING, OP_SHUTDOWN)
+OPS = (
+    OP_CHECK, OP_COMPILE, OP_PRINT, OP_PLAN, OP_CACHE_STATS, OP_PING, OP_HEALTH,
+    OP_SHUTDOWN,
+)
 
 #: Operations that compile something and therefore need ``source`` or ``path``.
 COMPILE_OPS = (OP_CHECK, OP_COMPILE, OP_PRINT, OP_PLAN)
+
+#: Operations a client may safely re-send after a dropped connection or a
+#: transient failure: everything except ``shutdown`` is a pure read (or a
+#: content-addressed compile, which is referentially transparent).  A
+#: retried ``shutdown`` could kill a *different* daemon that reclaimed the
+#: socket between attempts, so it never retries.
+IDEMPOTENT_OPS = tuple(op for op in OPS if op != OP_SHUTDOWN)
 
 #: Hard cap on one wire frame (request or response), matched by the server's
 #: stream limit.  Large enough for any Figure 8 artifact, small enough that a
@@ -101,6 +115,15 @@ ERR_IO = "io-error"
 ERR_OVERLOADED = "overloaded"
 ERR_SHUTTING_DOWN = "shutting-down"
 ERR_INTERNAL = "internal-error"
+ERR_RETRIES_EXHAUSTED = "retries-exhausted"
+ERR_DEADLINE = "deadline-exceeded"
+
+#: Structured error codes a client may retry: the condition clears on its
+#: own (a momentarily full compile queue), unlike e.g. a type error, which
+#: is deterministic, or ``shutting-down``, which only resolves by the
+#: daemon exiting.  Connection-level failures (``OSError``, torn frames)
+#: are retried separately by :class:`DescendClient`.
+RETRYABLE_CODES = (ERR_OVERLOADED,)
 
 
 class ProtocolError(Exception):
@@ -123,8 +146,8 @@ class Request:
 
     Exactly one of ``source`` (inline program text) or ``path`` (a file the
     executing backend reads) must be set for the compile-ish ops
-    (:data:`COMPILE_OPS`); ``ping`` / ``cache.stats`` / ``shutdown`` take
-    neither.  ``options`` is the per-op option bag — schema v1 defines
+    (:data:`COMPILE_OPS`); ``ping`` / ``health`` / ``cache.stats`` /
+    ``shutdown`` take neither.  ``options`` is the per-op option bag — schema v1 defines
     ``{"no_opt": bool}`` for ``plan``; unknown keys are ignored for forward
     compatibility.
     """
@@ -410,6 +433,34 @@ class LocalBackend:
                 pass_tiers=session.pass_counts_since(snapshot),
             )
 
+    def health(self) -> Dict[str, object]:
+        """The backend's liveness/degradation summary (the ``health`` op).
+
+        Always answers — a store whose index lock is wedged degrades to a
+        ``store_error`` field instead of failing the health probe, because
+        the probe's job is precisely to surface that state.
+        """
+        info: Dict[str, object] = {
+            "healthy": True,
+            "pid": os.getpid(),
+            "requests": self.requests,
+            "uptime_s": time.time() - self.started_unix,
+            "session": self.session.label,
+        }
+        store = getattr(self.session, "store", None)
+        if store is not None:
+            try:
+                info["store"] = store.stats()
+            except OSError as exc:
+                info["healthy"] = False
+                info["store_error"] = str(exc)
+        from repro import faults
+
+        fault_report = faults.report()
+        if fault_report is not None:
+            info["faults"] = fault_report
+        return info
+
     def _passes_since(self, mark: int) -> Tuple[Dict[str, object], ...]:
         # The timings list is trimmed in bulk past MAX_TIMINGS; if that
         # happened mid-request the detailed rows are best-effort (the
@@ -443,6 +494,8 @@ class LocalBackend:
             }
         if op == OP_CACHE_STATS:
             return {"session": self.session.stats()}
+        if op == OP_HEALTH:
+            return self.health()
         if op == OP_SHUTDOWN:
             # The daemon intercepts this op to drain and stop; in-process it
             # is a plain acknowledgement.
@@ -501,6 +554,36 @@ def plan_text(
 # ---------------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a :class:`DescendClient` behaves under partial failure.
+
+    ``max_attempts`` bounds the total tries per op (1 = no retries);
+    delays grow exponentially from ``base_delay_s`` capped at
+    ``max_delay_s``, each scaled by *deterministic* jitter drawn from a
+    PRNG seeded with ``seed`` — two clients with the same policy replay
+    the same backoff schedule, which is what makes chaos runs exactly
+    reproducible.  ``deadline_s`` is the per-op wall-clock budget across
+    all attempts; when the next backoff would overrun it the client stops
+    early with a structured ``deadline-exceeded`` error.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    deadline_s: Optional[float] = None
+    seed: int = 0
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """The backoff before attempt ``attempt + 1`` (first attempt is 1)."""
+        bounded = min(self.max_delay_s, self.base_delay_s * (2 ** (attempt - 1)))
+        return bounded * (0.5 + 0.5 * rng.random())
+
+
+#: Retry nothing: the policy of probes that implement their own loop.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
 class DescendClient:
     """A blocking client of a running ``descendc serve`` daemon.
 
@@ -509,21 +592,41 @@ class DescendClient:
     :class:`LocalBackend`, plus one convenience method per op.  One client
     holds one connection; it is not itself thread-safe — give each client
     thread its own instance (connections are cheap, the daemon multiplexes).
+
+    Failure behavior: idempotent ops (:data:`IDEMPOTENT_OPS`) reconnect
+    and retry per ``retry`` (a :class:`RetryPolicy`) on connection-level
+    failures and on the retryable structured codes
+    (:data:`RETRYABLE_CODES`); when attempts run out the client returns a
+    structured ``retries-exhausted`` (or ``deadline-exceeded``)
+    :class:`Response` naming the last underlying failure, so callers deal
+    in exactly one error channel.  Non-idempotent ops (``shutdown``) fail
+    fast by raising, exactly like the pre-retry client.
     """
 
-    def __init__(self, socket_path: str, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        socket_path: str,
+        timeout: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.socket_path = str(socket_path)
         self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
         self._sock: Optional[socket.socket] = None
         self._rfile = None
         self._next_id = 0
+        self._retry_rng = random.Random(f"descend-client:{self.retry.seed}")
 
     # -- connection lifecycle ---------------------------------------------------
     def connect(self) -> "DescendClient":
         if self._sock is None:
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             sock.settimeout(self.timeout)
-            sock.connect(self.socket_path)
+            try:
+                sock.connect(self.socket_path)
+            except OSError:
+                sock.close()
+                raise
             self._sock = sock
             self._rfile = sock.makefile("rb")
         return self
@@ -534,12 +637,13 @@ class DescendClient:
         while True:
             try:
                 self.connect()
-                return self.ping().ok
+                if self._attempt(Request(op=OP_PING, id="ready")).ok:
+                    return True
             except (OSError, ProtocolError):
                 self.close()
-                if time.monotonic() >= deadline:
-                    return False
-                time.sleep(interval)
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(interval)
 
     def close(self) -> None:
         if self._rfile is not None:
@@ -563,11 +667,58 @@ class DescendClient:
 
     # -- the request entry point ------------------------------------------------
     def handle(self, request: Request) -> Response:
-        """Send one request and block for its response."""
-        self.connect()
+        """Send one request; block for its response, retrying per policy."""
         if request.id is None:
             self._next_id += 1
             request = replace(request, id=f"c{self._next_id}")
+        policy = self.retry
+        deadline = (
+            time.monotonic() + policy.deadline_s
+            if policy.deadline_s is not None
+            else None
+        )
+        retryable_op = request.op in IDEMPOTENT_OPS
+        attempts = 0
+        last_failure = ""
+        while True:
+            attempts += 1
+            try:
+                response = self._attempt(request)
+            except (OSError, ProtocolError) as exc:
+                # The connection is suspect (refused, reset, torn frame):
+                # drop it so the next attempt reconnects from scratch.
+                self.close()
+                if not retryable_op:
+                    raise
+                last_failure = f"{type(exc).__name__}: {exc}"
+            else:
+                if response.ok or response.error_code not in RETRYABLE_CODES:
+                    return response
+                last_failure = f"{response.error_code}: {response.error_message}"
+            if attempts >= max(1, policy.max_attempts):
+                return Response.failure(
+                    request.op,
+                    ERR_RETRIES_EXHAUSTED,
+                    f"gave up on {request.op!r} after {attempts} attempt(s); "
+                    f"last failure: {last_failure}",
+                    id=request.id,
+                )
+            delay = policy.delay_for(attempts, self._retry_rng)
+            if deadline is not None and time.monotonic() + delay > deadline:
+                return Response.failure(
+                    request.op,
+                    ERR_DEADLINE,
+                    f"op deadline of {policy.deadline_s}s exhausted after "
+                    f"{attempts} attempt(s); last failure: {last_failure}",
+                    id=request.id,
+                )
+            time.sleep(delay)
+
+    request = handle  # the traditional client-side name
+
+    def _attempt(self, request: Request) -> Response:
+        """One send/receive round trip, no retries (raises on I/O failure)."""
+        self.connect()
         assert self._sock is not None
         self._sock.sendall(encode_frame(request.to_wire()))
         line = self._rfile.readline(MAX_FRAME_BYTES + 2)
@@ -575,11 +726,12 @@ class DescendClient:
             raise ProtocolError(ERR_IO, "server closed the connection")
         return Response.from_wire(decode_frame(line))
 
-    request = handle  # the traditional client-side name
-
     # -- convenience ops --------------------------------------------------------
     def ping(self) -> Response:
         return self.handle(Request(op=OP_PING))
+
+    def health(self) -> Response:
+        return self.handle(Request(op=OP_HEALTH))
 
     def check(self, source: Optional[str] = None, path: Optional[str] = None,
               name: Optional[str] = None) -> Response:

@@ -18,6 +18,7 @@ from repro.descend.api import COMPILE_OPS, MAX_FRAME_BYTES, Request, encode_fram
 #: Defaults for the daemon's tunables (overridable via ``descendc serve``).
 DEFAULT_MAX_PENDING = 64
 DEFAULT_DRAIN_TIMEOUT_S = 10.0
+DEFAULT_READ_TIMEOUT_S = 300.0
 
 
 @dataclass(frozen=True)
@@ -28,7 +29,10 @@ class ServeConfig:
     the bound get a structured ``overloaded`` error instead of unbounded
     buffering); ``max_frame_bytes`` bounds one protocol line;
     ``drain_timeout_s`` bounds the graceful-shutdown wait for in-flight
-    work.
+    work; ``read_timeout_s`` bounds how long one connection may sit idle
+    between frames before the daemon reclaims it (``None`` disables the
+    idle kick) — a stalled or leaking client costs one fd for a bounded
+    time, never forever.
     """
 
     socket_path: str
@@ -36,6 +40,7 @@ class ServeConfig:
     max_pending: int = DEFAULT_MAX_PENDING
     max_frame_bytes: int = MAX_FRAME_BYTES
     drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S
+    read_timeout_s: Optional[float] = DEFAULT_READ_TIMEOUT_S
 
 
 def coalesce_key(request: Request) -> Optional[str]:

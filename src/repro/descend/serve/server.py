@@ -28,6 +28,14 @@ Execution model, deliberately boring:
 * **Graceful drain**: SIGTERM/SIGINT (or the ``shutdown`` op) stops
   accepting work, waits up to ``drain_timeout_s`` for in-flight requests to
   finish and flush their responses, then exits.
+* **Partial-failure hardening**: idle connections are reclaimed after
+  ``read_timeout_s``; a request's optional ``deadline_ms`` is honored at
+  executor-dequeue time (``deadline-exceeded`` instead of a wasted
+  compile); ``health`` is answered on the loop so liveness never queues
+  behind a wedged worker; and the socket read/write and executor
+  submission seams carry :mod:`repro.faults` injection points
+  (``serve.conn.read`` / ``serve.conn.write`` / ``serve.exec.submit``)
+  so the chaos suite can prove all of the above under injected failure.
 """
 
 from __future__ import annotations
@@ -42,11 +50,14 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from typing import Dict, Optional, Set
 
+from repro import faults
 from repro.descend.api import (
+    ERR_DEADLINE,
     ERR_INTERNAL,
     ERR_OVERLOADED,
     ERR_OVERSIZED,
     ERR_SHUTTING_DOWN,
+    OP_HEALTH,
     OP_PING,
     OP_SHUTDOWN,
     LocalBackend,
@@ -110,6 +121,12 @@ class CompileServer:
         if self.config.store_path:
             self.backend.attach_store_path(self.config.store_path)
         path = self.config.socket_path
+        # A socket path under a directory that does not exist yet (fresh
+        # container, tmpfs wiped between runs) is a startup failure the
+        # daemon can trivially heal instead of dying on bind().
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         self._unlink_stale_socket(path)
         server = await asyncio.start_unix_server(
             self._on_client, path=path, limit=self.config.max_frame_bytes
@@ -166,7 +183,17 @@ class CompileServer:
         try:
             while not self._stopping.is_set():
                 try:
-                    line = await reader.readline()
+                    if self.config.read_timeout_s is not None:
+                        # Idle-connection bound: a client that stops talking
+                        # (or leaked its socket) is reclaimed instead of
+                        # holding an fd forever.
+                        line = await asyncio.wait_for(
+                            reader.readline(), self.config.read_timeout_s
+                        )
+                    else:
+                        line = await reader.readline()
+                except asyncio.TimeoutError:
+                    break
                 except (ValueError, asyncio.LimitOverrunError):
                     # A line longer than the stream limit: the buffer is
                     # poisoned mid-frame, so answer once and drop the client.
@@ -185,6 +212,10 @@ class CompileServer:
                     break
                 if not line.strip():
                     continue
+                if faults.check("serve.conn.read") is not None:
+                    # Injected connection loss mid-read: drop the client the
+                    # way a real reset would, without answering.
+                    break
                 task = asyncio.ensure_future(self._serve_line(line, writer))
                 self._tasks.add(task)
                 task.add_done_callback(self._tasks.discard)
@@ -224,6 +255,16 @@ class CompileServer:
             await self._send(
                 writer,
                 Response(op=OP_PING, status="ok", id=request.id, artifacts=artifacts),
+            )
+            return
+        if request.op == OP_HEALTH:
+            # Liveness must not queue behind compiles: answered on the loop,
+            # like ping, so a wedged worker is exactly what health reveals.
+            health: Dict[str, object] = self.backend.health()
+            health["server"] = self.stats()
+            await self._send(
+                writer,
+                Response(op=OP_HEALTH, status="ok", id=request.id, artifacts=health),
             )
             return
         if request.op == OP_SHUTDOWN:
@@ -268,16 +309,46 @@ class CompileServer:
 
     async def _execute(self, request: Request) -> Response:
         assert self._loop is not None
+        # An optional per-request deadline: the client says how long the
+        # answer is still worth computing.  The executor checks it at
+        # dequeue time — a request that waited out its budget behind the
+        # single writer is answered `deadline-exceeded` instead of burning
+        # the worker on a result nobody is waiting for.
+        deadline_ms = request.option("deadline_ms")
+        deadline: Optional[float] = None
+        if isinstance(deadline_ms, (int, float)) and not isinstance(deadline_ms, bool):
+            deadline = time.monotonic() + max(0.0, float(deadline_ms)) / 1000.0
+
+        def work() -> Response:
+            if deadline is not None and time.monotonic() > deadline:
+                return Response.failure(
+                    request.op,
+                    ERR_DEADLINE,
+                    f"deadline_ms={deadline_ms} expired while queued",
+                    id=request.id,
+                )
+            return self.backend.handle(request)
+
         try:
-            return await self._loop.run_in_executor(
-                self._executor, self.backend.handle, request
-            )
+            faults.maybe_raise("serve.exec.submit")
+            return await self._loop.run_in_executor(self._executor, work)
         except Exception as exc:  # noqa: BLE001 - the server must never die
             return Response.failure(request.op, ERR_INTERNAL, str(exc), id=request.id)
 
     async def _send(self, writer: asyncio.StreamWriter, response: Response) -> None:
         """Write one response; a vanished client is that client's problem."""
         try:
+            rule = faults.check("serve.conn.write")
+            if rule is not None:
+                # Injected connection loss mid-response: the client sees the
+                # socket die without (or with only part of) the answer —
+                # exactly the window its reconnect-and-retry path covers.
+                if rule.kind == "torn":
+                    frame = encode_frame(response.to_wire())
+                    writer.write(frame[: len(frame) // 2])
+                    await writer.drain()
+                self._close_writer(writer)
+                return
             writer.write(encode_frame(response.to_wire()))
             await writer.drain()
         except (ConnectionResetError, BrokenPipeError, OSError):

@@ -17,9 +17,13 @@ Design points, in the order they matter:
 
 * **Crash/corruption safety.**  Blob and index writes go through
   ``tempfile + os.replace`` (atomic on POSIX).  Reads trust nothing:
-  a truncated, corrupted, or unreadable blob is treated as a miss (and
-  deleted best-effort), never an error — the caller falls back to a cold
-  compile.  A corrupted index is rebuilt by scanning ``objects/``.
+  a truncated, corrupted, or unreadable blob is treated as a miss, never
+  an error — the caller falls back to a cold compile.  Corrupt blobs are
+  *quarantined* (moved to ``quarantine/`` and counted) rather than
+  silently re-degrading every later lookup; a corrupted index is rebuilt
+  by scanning ``objects/``.  The hot I/O seams (blob read/write/rename,
+  index flock) carry named :mod:`repro.faults` injection points, so the
+  chaos suite exercises these paths with real injected failures.
 
 * **Concurrency.**  Index read-modify-write cycles hold an ``fcntl.flock``
   on ``<root>/lock``.  Blob reads take no lock (immutable names); a reader
@@ -47,6 +51,7 @@ import time
 from pathlib import Path
 from typing import Dict, Iterator, Optional
 
+from repro import faults
 from repro.descend.store.fingerprint import STORE_FORMAT, pipeline_fingerprint
 
 try:  # pragma: no cover - POSIX everywhere we run; degrade gracefully elsewhere
@@ -85,6 +90,7 @@ class ArtifactStore:
         self.writes = 0
         self.evictions = 0
         self.errors = 0
+        self.quarantined = 0
         self._pending_touches: Dict[str, float] = {}
         self._touch_flushed = False
         self._ensure_layout()
@@ -108,6 +114,14 @@ class ArtifactStore:
         # sweep can never delete a tmp file a concurrent writer is about to
         # os.replace into place (same filesystem, so the rename stays atomic).
         return self.root / "tmp"
+
+    @property
+    def _quarantine_dir(self) -> Path:
+        # Corrupt blobs are moved aside here instead of deleted: the lookup
+        # path degrades exactly once per poisoned digest (no re-reading the
+        # same broken pickle on every miss), and the evidence survives for
+        # inspection until gc ages it out.
+        return self.root / "quarantine"
 
     def _object_path(self, digest: str) -> Path:
         return self._objects_dir / digest[:2] / digest
@@ -149,6 +163,7 @@ class ArtifactStore:
         if fcntl is None:  # pragma: no cover
             yield
             return
+        faults.maybe_raise("store.index.flock")
         lock_path = self.root / "lock"
         with open(lock_path, "a+b") as handle:
             fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
@@ -227,12 +242,14 @@ class ArtifactStore:
     def _write_json(self, path: Path, payload: Dict[str, object]) -> None:
         self._atomic_write(path, json.dumps(payload, indent=1).encode("utf-8"))
 
-    def _atomic_write(self, path: Path, data: bytes) -> None:
+    def _atomic_write(self, path: Path, data: bytes, is_blob: bool = False) -> None:
         self._tmp_dir.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=str(self._tmp_dir), prefix=".tmp-")
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(data)
+            if is_blob:
+                faults.maybe_raise("store.blob.rename")
             os.replace(tmp_name, path)
         except OSError:
             with contextlib.suppress(OSError):
@@ -264,17 +281,31 @@ class ArtifactStore:
         path = self._object_path(digest)
         try:
             with open(path, "rb") as handle:
-                artifact = pickle.load(handle)
+                rule = faults.maybe_raise("store.blob.read")
+                blob = handle.read()
         except FileNotFoundError:
             self.misses += 1
             return None
-        except Exception:
-            # Truncated blob, corrupted pickle, unimportable class, … — the
-            # store is a cache, so treat every failure as a miss and drop the
-            # poisoned blob so the next write can heal it.
+        except OSError:
+            # The disk (or an injected fault) refused the read: a transient
+            # I/O problem, not proof the blob is poisoned — miss without
+            # quarantining so a healthy retry can still hit.
             self.errors += 1
             self.misses += 1
-            self._forget(digest)
+            return None
+        if rule is not None and rule.kind == "torn":
+            blob = blob[: len(blob) // 2]
+        try:
+            artifact = pickle.loads(blob)
+        except Exception:
+            # Truncated blob, corrupted pickle, unimportable class, … — the
+            # store is a cache, so treat every failure as a miss, and move
+            # the poisoned blob aside so every later lookup of this digest
+            # is a plain miss (heal-on-next-write) instead of another
+            # read-and-fail degradation.
+            self.errors += 1
+            self.misses += 1
+            self._quarantine(digest)
             return None
         self.hits += 1
         self._touch(digest)
@@ -287,9 +318,15 @@ class ArtifactStore:
         except Exception:
             return False  # unpicklable artifacts simply stay in-memory-only
         try:
+            rule = faults.maybe_raise("store.blob.write")
+            if rule is not None and rule.kind == "torn":
+                # A torn write: the rename lands, but the bytes are cut
+                # short — the on-disk image a crash between write and fsync
+                # leaves behind.  The next load quarantines it.
+                blob = blob[: len(blob) // 2]
             path = self._object_path(digest)
             path.parent.mkdir(parents=True, exist_ok=True)
-            self._atomic_write(path, blob)
+            self._atomic_write(path, blob, is_blob=True)
             with self._locked():
                 entries = self._load_index()
                 entries[digest] = {"size": len(blob), "used": time.time(), "kind": kind}
@@ -331,6 +368,29 @@ class ArtifactStore:
         """Drop one (broken) entry and its blob (best-effort)."""
         with contextlib.suppress(OSError):
             self._object_path(digest).unlink()
+        self._drop_entry(digest)
+
+    def _quarantine(self, digest: str) -> None:
+        """Move a poisoned blob aside and drop its index entry (best-effort).
+
+        Move-aside instead of delete: the digest becomes a plain miss (the
+        degradation happens once, not on every lookup), the next write of
+        the same digest heals it, and the corrupt bytes stay inspectable
+        under ``quarantine/`` until :meth:`gc` ages them out.
+        """
+        self.quarantined += 1
+        source = self._object_path(digest)
+        try:
+            self._quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(source, self._quarantine_dir / digest)
+        except OSError:
+            # Can't move it aside (readonly dir, cross-device, gone already):
+            # fall back to deleting so the poison at least can't re-degrade.
+            with contextlib.suppress(OSError):
+                source.unlink()
+        self._drop_entry(digest)
+
+    def _drop_entry(self, digest: str) -> None:
         try:
             with self._locked():
                 entries = self._load_index()
@@ -338,6 +398,13 @@ class ArtifactStore:
                     self._save_index(entries)
         except OSError:  # pragma: no cover
             self.errors += 1
+
+    def quarantine_entries(self) -> int:
+        """How many poisoned blobs are currently parked under ``quarantine/``."""
+        try:
+            return sum(1 for path in self._quarantine_dir.glob("*") if path.is_file())
+        except OSError:  # pragma: no cover
+            return 0
 
     def gc(self, max_bytes: Optional[int] = None) -> Dict[str, object]:
         """Reconcile the index with the blobs and enforce the size budget.
@@ -362,6 +429,13 @@ class ArtifactStore:
                 with contextlib.suppress(OSError):
                     if path.is_file() and path.stat().st_mtime < stale_before:
                         path.unlink()
+            # Quarantined blobs age out on the same schedule: kept long
+            # enough to debug a corruption burst, never accumulated forever.
+            if self._quarantine_dir.is_dir():
+                for path in self._quarantine_dir.glob("*"):
+                    with contextlib.suppress(OSError):
+                        if path.is_file() and path.stat().st_mtime < stale_before:
+                            path.unlink()
             entries = self._load_index()
             on_disk = self._rebuild_entries()
             for digest in list(entries):
@@ -392,6 +466,8 @@ class ArtifactStore:
             writes=self.writes,
             evictions=self.evictions,
             errors=self.errors,
+            quarantined=self.quarantined,
+            quarantine_entries=self.quarantine_entries(),
         )
         return summary
 

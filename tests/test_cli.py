@@ -114,7 +114,8 @@ fn guarded(vec: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () 
 def test_syntax_error_is_reported(tmp_path, capsys):
     path = tmp_path / "broken.descend"
     path.write_text("fn oops(")
-    assert main(["check", str(path)]) == 1
+    # syntax-error has its own exit status in the EXIT_CODES table.
+    assert main(["check", str(path)]) == 3
     assert "error" in capsys.readouterr().err
 
 
@@ -249,8 +250,10 @@ def test_bench_compile_rejects_jobs(capsys):
 
 def test_client_without_daemon_reports_connection_error(tmp_path, capsys):
     sock = str(tmp_path / "nobody-home.sock")
-    assert main(["client", "ping", "--socket", sock]) == 2
-    assert "cannot reach daemon" in capsys.readouterr().err
+    # ping is idempotent: the client retries the connection, then reports a
+    # structured retries-exhausted error with its dedicated exit status.
+    assert main(["client", "ping", "--socket", sock, "--retries", "1"]) == 13
+    assert "gave up on 'ping'" in capsys.readouterr().err
 
 
 def test_client_file_ops_require_a_file(capsys):

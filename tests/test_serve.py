@@ -312,6 +312,33 @@ class TestGracefulShutdown:
             assert thread.server.stats()["requests"] == 0
 
 
+class TestStartupRobustness:
+    def test_stale_socket_file_is_replaced(self, tmp_path):
+        # A daemon that died without cleanup leaves its socket file behind;
+        # the next daemon must bind over it, not die on EADDRINUSE.
+        path = str(tmp_path / "stale.sock")
+        leftover = socket_module.socket(socket_module.AF_UNIX, socket_module.SOCK_STREAM)
+        leftover.bind(path)
+        leftover.close()
+        with ServerThread(LocalBackend(label="stale"), ServeConfig(path)):
+            with DescendClient(path) as c:
+                assert c.ping().ok
+
+    def test_missing_socket_parent_directory_is_created(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "serve.sock")
+        with ServerThread(LocalBackend(label="mkdir"), ServeConfig(path)):
+            with DescendClient(path) as c:
+                assert c.ping().ok
+
+    def test_refuses_to_delete_a_regular_file_at_the_socket_path(self, tmp_path):
+        from repro.descend.serve.server import CompileServer
+
+        path = tmp_path / "not-a-socket"
+        path.write_text("precious")
+        CompileServer._unlink_stale_socket(str(path))
+        assert path.read_text() == "precious"
+
+
 class TestSessionThreadSafety:
     def test_concurrent_compiles_keep_counters_consistent(self):
         session = CompileSession(label="hammer")

@@ -295,6 +295,55 @@ class TestEviction:
         assert live_tmp.exists()  # a concurrent writer's tmp file survives gc
         assert store.load("aa" * 32) is not None
 
+    def test_gc_ages_out_quarantined_blobs(self, tmp_path):
+        root = tmp_path / "store"
+        store = ArtifactStore(root)
+        digest = "aa" * 32
+        store.store(digest, {"x": 1})
+        (root / "objects" / "aa" / digest).write_bytes(b"garbage not a pickle")
+        assert store.load(digest) is None  # poisoned: moved aside, not deleted
+        assert store.quarantine_entries() == 1
+        store.gc()
+        assert store.quarantine_entries() == 1  # fresh evidence survives gc
+        os.utime(root / "quarantine" / digest, (0, 0))  # long dead
+        store.gc()
+        assert store.quarantine_entries() == 0
+
+    def test_gc_racing_a_concurrent_writer_loses_nothing(self, tmp_path):
+        """`cache gc` in one process while another is writing: every write
+        the writer completed must still load afterwards (gc only reconciles,
+        it never deletes a live indexed blob or a racing writer's tmp file)."""
+        root = tmp_path / "store"
+        script = (
+            "import sys\n"
+            "from repro.descend.store import ArtifactStore\n"
+            "store = ArtifactStore(sys.argv[1])\n"
+            "for n in range(40):\n"
+            "    assert store.store(('%02x' % n) * 32, {'n': n, 'pad': 'x' * 512})\n"
+        )
+        src_dir = str(Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        gc_store = ArtifactStore(root)  # same schema: no wipe on open
+        writer = subprocess.Popen(
+            [sys.executable, "-c", script, str(root)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+        )
+        try:
+            while writer.poll() is None:
+                gc_store.gc()
+        finally:
+            _, stderr = writer.communicate(timeout=120)
+        assert writer.returncode == 0, stderr.decode()
+
+        summary = gc_store.gc()  # one final reconcile after the writer exits
+        assert summary["entries"] == 40
+        fresh = ArtifactStore(root)
+        for n in range(40):
+            assert fresh.load(("%02x" % n) * 32) == {"n": n, "pad": "x" * 512}
+
     def test_wrong_top_level_json_types_degrade_not_raise(self, tmp_path):
         root = tmp_path / "store"
         store = ArtifactStore(root)

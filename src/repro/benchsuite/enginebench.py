@@ -14,7 +14,10 @@ Two variants are covered: the handwritten CUDA-lite kernels (the default)
 and, with ``--descend``, the Descend programs executed through the
 device-plan compiler (:mod:`repro.descend.plan`).  The Descend variant additionally
 sweeps workload *scales* (``--scales 1 4``) to record the interpreter's
-scaling headroom; its report is written to ``BENCH_descend_engine.json``.
+scaling headroom, and runs a third column — the ``jit`` engine, which
+executes the generated straight-line source of the
+``lower.plan.codegen`` pass — under the same exact-parity oracle; its
+report is written to ``BENCH_descend_engine.json``.
 
 The JSON reports (``BENCH_*.json``) are uploaded as CI artifacts by the
 bench-smoke job so the speedup trajectory accumulates over time.
@@ -120,12 +123,22 @@ class EngineBenchRow:
     scale: int = 1
     skipped: Optional[str] = None
     retries: int = 0
+    #: The jit engine only runs for the Descend variant (the CUDA-lite
+    #: kernels have no device plan to compile); ``None`` elsewhere.
+    jit_cycles: Optional[float] = None
+    jit_wall_s: Optional[float] = None
 
     @property
     def cycles_match(self) -> Optional[bool]:
         if self.reference_cycles is None:
             return None
         return self.reference_cycles == self.vectorized_cycles
+
+    @property
+    def jit_cycles_match(self) -> Optional[bool]:
+        if self.jit_cycles is None:
+            return None
+        return self.jit_cycles == self.vectorized_cycles
 
     @property
     def speedup(self) -> Optional[float]:
@@ -135,6 +148,15 @@ class EngineBenchRow:
             return float("inf")
         return self.reference_wall_s / self.vectorized_wall_s
 
+    @property
+    def jit_speedup(self) -> Optional[float]:
+        """The jit engine's speedup over the *vectorized* engine."""
+        if self.jit_wall_s is None:
+            return None
+        if self.jit_wall_s == 0:
+            return float("inf")
+        return self.vectorized_wall_s / self.jit_wall_s
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "benchmark": self.benchmark,
@@ -143,10 +165,14 @@ class EngineBenchRow:
             "scale": self.scale,
             "reference_cycles": self.reference_cycles,
             "vectorized_cycles": self.vectorized_cycles,
+            "jit_cycles": self.jit_cycles,
             "cycles_match": self.cycles_match,
+            "jit_cycles_match": self.jit_cycles_match,
             "reference_wall_s": self.reference_wall_s,
             "vectorized_wall_s": self.vectorized_wall_s,
+            "jit_wall_s": self.jit_wall_s,
             "speedup": _json_number(self.speedup),
+            "jit_speedup": _json_number(self.jit_speedup),
             "footprint_bytes": self.footprint_bytes,
             "skipped": self.skipped,
             "retries": self.retries,
@@ -174,11 +200,29 @@ class EngineBenchResult:
 
     @property
     def all_cycles_match(self) -> bool:
-        return all(row.cycles_match for row in self.measured_rows)
+        return all(row.cycles_match for row in self.measured_rows) and all(
+            row.jit_cycles_match in (None, True) for row in self.rows
+        )
 
     @property
     def geometric_mean_speedup(self) -> float:
         speedups = [row.speedup for row in self.measured_rows if row.speedup > 0]
+        if not speedups:
+            return float("nan")
+        return math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+
+    @property
+    def geometric_mean_jit_speedup(self) -> float:
+        """Geomean of the jit engine's speedup over the vectorized engine.
+
+        Budget-skipped rows still count: the jit column never depends on the
+        reference run, and the biggest rows are exactly where it matters.
+        """
+        speedups = [
+            row.jit_speedup
+            for row in self.rows
+            if row.jit_speedup is not None and row.jit_speedup > 0
+        ]
         if not speedups:
             return float("nan")
         return math.exp(sum(math.log(s) for s in speedups) / len(speedups))
@@ -198,15 +242,18 @@ class EngineBenchResult:
             "workloads": [row.as_dict() for row in self.rows],
             "all_cycles_match": self.all_cycles_match,
             "geometric_mean_speedup": _json_number(self.geometric_mean_speedup),
+            "geometric_mean_jit_speedup": _json_number(self.geometric_mean_jit_speedup),
             "min_speedup": _json_number(self.min_speedup),
             "skipped_rows": sum(1 for row in self.rows if row.skipped is not None),
             "compile_passes": self.compile_passes,
         }
 
     def to_table(self) -> str:
+        has_jit = any(row.jit_wall_s is not None for row in self.rows)
         table = format_table(
             ["variant", "benchmark", "size", "scale", "footprint", "cycles", "parity",
-             "ref wall", "vec wall", "speedup"],
+             "ref wall", "vec wall", "speedup"]
+            + (["jit wall", "jit x"] if has_jit else []),
             [
                 (
                     row.variant,
@@ -222,15 +269,29 @@ class EngineBenchResult:
                     f"{row.vectorized_wall_s * 1e3:.1f} ms",
                     f"{row.speedup:.1f}x" if row.skipped is None else "—",
                 )
+                + (
+                    (
+                        f"{row.jit_wall_s * 1e3:.1f} ms" if row.jit_wall_s is not None else "—",
+                        f"{row.jit_speedup:.1f}x" if row.jit_speedup is not None else "—",
+                    )
+                    if has_jit
+                    else ()
+                )
                 for row in self.rows
             ],
         )
-        return (
+        summary = (
             table
             + f"\n\ngeometric mean speedup: {self.geometric_mean_speedup:.1f}x"
             + f" (min {self.min_speedup:.1f}x); cycle parity: "
             + ("exact for every workload" if self.all_cycles_match else "VIOLATED")
         )
+        if has_jit:
+            summary += (
+                f"\ngeometric mean jit speedup over vectorized: "
+                f"{self.geometric_mean_jit_speedup:.1f}x"
+            )
+        return summary
 
 
 def _time_variant(runner, workload_: Workload, data, reference, engine: str, repeats: int):
@@ -292,6 +353,18 @@ def compare_engines(
         # later runs then get from the cache.
         precompile_descend(benchmark, workload_.params)
     vec_cycles, vec_wall = _time_variant(runner, workload_, data, reference, "vectorized", repeats)
+    jit_cycles: Optional[float] = None
+    jit_wall: Optional[float] = None
+    if variant == "descend":
+        # The jit column never depends on the reference run, so it is
+        # measured even on budget-skipped rows — the biggest rows are
+        # exactly where codegen pays off.
+        jit_cycles, jit_wall = _time_variant(runner, workload_, data, reference, "jit", repeats)
+        if jit_cycles != vec_cycles:
+            raise BenchmarkError(
+                f"cycle-count parity violated for {workload_.label} ({variant}): "
+                f"jit={jit_cycles} vectorized={vec_cycles}"
+            )
     if budget_s is not None and estimate_reference_wall_s(vec_cycles) > budget_s:
         return EngineBenchRow(
             benchmark=benchmark,
@@ -304,6 +377,8 @@ def compare_engines(
             variant=variant,
             scale=scale_factor(scale),
             skipped="budget",
+            jit_cycles=jit_cycles,
+            jit_wall_s=jit_wall,
         )
     ref_cycles, ref_wall = _time_variant(runner, workload_, data, reference, "reference", repeats)
     row = EngineBenchRow(
@@ -316,6 +391,8 @@ def compare_engines(
         footprint_bytes=workload_.footprint_bytes(),
         variant=variant,
         scale=scale_factor(scale),
+        jit_cycles=jit_cycles,
+        jit_wall_s=jit_wall,
     )
     if not row.cycles_match:
         raise BenchmarkError(

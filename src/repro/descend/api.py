@@ -148,8 +148,9 @@ class Request:
     executing backend reads) must be set for the compile-ish ops
     (:data:`COMPILE_OPS`); ``ping`` / ``health`` / ``cache.stats`` /
     ``shutdown`` take neither.  ``options`` is the per-op option bag — schema v1 defines
-    ``{"no_opt": bool}`` for ``plan``; unknown keys are ignored for forward
-    compatibility.
+    ``{"no_opt": bool, "jit": bool}`` for ``plan`` (``jit`` renders the
+    generated Python of the ``lower.plan.codegen`` pass instead of the IR
+    disassembly); unknown keys are ignored for forward compatibility.
     """
 
     op: str
@@ -509,6 +510,8 @@ class LocalBackend:
             return {"source": compiled.to_source()}
         if op == OP_PLAN:
             no_opt = bool(request.option("no_opt", False))
+            if bool(request.option("jit", False)):
+                return {"ir": plan_source_text(compiled, unit, request.fun, no_opt)}
             return {"ir": plan_text(compiled, unit, request.fun, no_opt)}
         raise ProtocolError(ERR_UNKNOWN_OP, f"unknown op {op!r}")  # pragma: no cover
 
@@ -546,6 +549,48 @@ def plan_text(
             chunks.append(f"// {name}: falls back to the reference engine: {reason}\n")
         else:
             chunks.append(disassemble(plan))
+    return "\n".join(chunks)
+
+
+def plan_source_text(
+    compiled: CompiledProgram, unit: str, fun: Optional[str], no_opt: bool
+) -> str:
+    """The ``plan`` op's generated-Python text (the CLI's ``plan --jit``).
+
+    Mirrors :func:`plan_text` with the ``lower.plan.codegen`` output in
+    place of the IR disassembly: functions codegen (or the plan lowering)
+    cannot compile render their fallback reason as a comment.  ``no_opt``
+    runs codegen over the raw (unoptimized) plan, bypassing the caches.
+    """
+    from repro.descend.plan import (
+        CodegenUnsupported,
+        PlanUnsupported,
+        generate_plan_source,
+        lower_device_plan,
+    )
+
+    gpu_names = compiled.gpu_function_names()
+    if fun:
+        if fun not in gpu_names:
+            raise ProtocolError(
+                ERR_BAD_REQUEST,
+                f"`{fun}` is not a GPU function of {unit} "
+                f"(GPU functions: {', '.join(gpu_names) or 'none'})",
+            )
+        gpu_names = (fun,)
+    chunks = []
+    for name in gpu_names:
+        if no_opt:
+            try:
+                src, reason = generate_plan_source(lower_device_plan(compiled.program.fun(name))), None
+            except (PlanUnsupported, CodegenUnsupported) as exc:
+                src, reason = None, str(exc)
+        else:
+            src, reason = compiled.plan_source(name)
+        if src is None:
+            chunks.append(f"# {name}: no jit source ({reason})\n")
+        else:
+            chunks.append(src.source)
     return "\n".join(chunks)
 
 
@@ -747,8 +792,12 @@ class DescendClient:
 
     def plan(self, source: Optional[str] = None, path: Optional[str] = None,
              name: Optional[str] = None, fun: Optional[str] = None,
-             no_opt: bool = False) -> Response:
-        options = {"no_opt": True} if no_opt else {}
+             no_opt: bool = False, jit: bool = False) -> Response:
+        options: Dict[str, object] = {}
+        if no_opt:
+            options["no_opt"] = True
+        if jit:
+            options["jit"] = True
         return self.handle(
             Request(op=OP_PLAN, source=source, path=path, name=name, fun=fun, options=options)
         )

@@ -402,26 +402,36 @@ class DescendKernel:
         self.session = session
         self._compiled = compiled
         self._plan_entry: Optional[Tuple[Optional[object], Optional[str]]] = None
-        #: why the last vectorized launch fell back to the reference engine
+        self._plan_source_entry: Optional[Tuple[Optional[object], Optional[str]]] = None
+        #: why the last vectorized/jit launch fell back to a slower engine
         #: (``None`` when it did not).
         self.fallback_reason: Optional[str] = None
+
+    def _session_and_key(self):
+        from repro.descend.driver import active_session
+
+        session = self.session if self.session is not None else active_session()
+        if self._compiled is not None:
+            return session, self._compiled.cache_key(), self._compiled.unit
+        return session, None, self.fun_def.name
 
     def _resolve_plan(self) -> Tuple[Optional[object], Optional[str]]:
         """The cached ``(plan, fallback_reason)`` pair for this function."""
         if self._plan_entry is None:
-            from repro.descend.driver import active_session
-
-            session = self.session if self.session is not None else active_session()
-            if self._compiled is not None:
-                key = self._compiled.cache_key()
-                unit = self._compiled.unit
-            else:
-                key = None
-                unit = self.fun_def.name
+            session, key, unit = self._session_and_key()
             self._plan_entry = session.device_plan(
                 self.program, self.fun_def.name, key=key, unit=unit
             )
         return self._plan_entry
+
+    def _resolve_plan_source(self) -> Tuple[Optional[object], Optional[str]]:
+        """The cached ``(plan_source, fallback_reason)`` pair for this function."""
+        if self._plan_source_entry is None:
+            session, key, unit = self._session_and_key()
+            self._plan_source_entry = session.plan_source(
+                self.program, self.fun_def.name, key=key, unit=unit
+            )
+        return self._plan_source_entry
 
     # -- launch configuration ------------------------------------------------------------
     def grid_dim(self, nat_env: Optional[Dict[str, int]] = None) -> Tuple[int, int, int]:
@@ -466,6 +476,23 @@ class DescendKernel:
 
         mode = execution_mode if execution_mode is not None else device.execution_mode
         self.fallback_reason = None
+        if mode == "jit":
+            from repro.gpusim.engine import jit_impl
+
+            plan, reason = self._resolve_plan()
+            if plan is None:
+                # No plan at all: nothing for the vectorized engine either.
+                self.fallback_reason = reason
+                mode = "reference"
+            else:
+                plan_src, codegen_reason = self._resolve_plan_source()
+                if plan_src is None:
+                    # The plan lowered but codegen refused it: the plan
+                    # interpreter still runs it on the vectorized engine.
+                    self.fallback_reason = codegen_reason
+                    mode = "vectorized"
+                else:
+                    jit_impl(kernel)(plan_src.entry(nat_env, arg_values))
         if mode == "vectorized":
             from repro.gpusim.engine import vectorized_impl
 

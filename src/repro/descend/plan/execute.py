@@ -28,6 +28,7 @@ backend fast in the first place.
 
 from __future__ import annotations
 
+import operator
 from functools import lru_cache
 from typing import Dict, Optional, Tuple, Union
 
@@ -173,18 +174,25 @@ def _logical_not(value):
     return not value
 
 
+def _div(lhs, rhs):
+    if _is_integer(lhs) and _is_integer(rhs):
+        return lhs // rhs
+    return lhs / rhs
+
+
+#: Arith dispatch as a table: the interpreter hot loop looks the operator up
+#: once per op instead of walking a string-compare chain per evaluation.
+_ARITH_FUNCS = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": _div,
+    "%": operator.mod,
+}
+
+
 def _apply_arith(op: str, lhs, rhs):
-    if op == "+":
-        return lhs + rhs
-    if op == "-":
-        return lhs - rhs
-    if op == "*":
-        return lhs * rhs
-    if op == "/":
-        if _is_integer(lhs) and _is_integer(rhs):
-            return lhs // rhs
-        return lhs / rhs
-    return lhs % rhs
+    return _ARITH_FUNCS[op](lhs, rhs)
 
 
 _COMPARISONS = {
@@ -304,19 +312,20 @@ def _run_arith(op: ArithOp, state: ExecState) -> None:
     lhs = state.slots[op.lhs]
     rhs = state.slots[op.rhs]
     state.arith(1)
-    state.slots[op.out] = _apply_arith(op.op, lhs, rhs)
+    state.slots[op.out] = _ARITH_FUNCS[op.op](lhs, rhs)
 
 
 def _run_fused_arith(op: FusedArithOp, state: ExecState) -> None:
     # Two per-lane arith counts under one mask == two separate counts under
     # the same mask: the cost model only sums, so fusing is parity-exact.
     state.arith(2)
-    inner = _apply_arith(op.inner_op, state.slots[op.inner_lhs], state.slots[op.inner_rhs])
+    funcs = _ARITH_FUNCS
+    inner = funcs[op.inner_op](state.slots[op.inner_lhs], state.slots[op.inner_rhs])
     other = state.slots[op.other]
     if op.inner_is_lhs:
-        state.slots[op.out] = _apply_arith(op.outer_op, inner, other)
+        state.slots[op.out] = funcs[op.outer_op](inner, other)
     else:
-        state.slots[op.out] = _apply_arith(op.outer_op, other, inner)
+        state.slots[op.out] = funcs[op.outer_op](other, inner)
 
 
 def _run_compare(op: CompareOp, state: ExecState) -> None:
@@ -503,10 +512,32 @@ _DISPATCH = {
 }
 
 
-def _run_ops(ops, state: ExecState) -> None:
+#: Pre-paired ``(op, handler)`` sequences keyed by ``id(ops)``: plan bodies
+#: are immutable tuples that run once per loop iteration per launch, so the
+#: per-op class lookup is paid once per distinct ops sequence instead of per
+#: execution.  Each entry pins the ops tuple itself (first element) so a
+#: dead tuple's recycled ``id`` can never alias a live entry; the identity
+#: check guards the (unlikely) pin-free window after a wholesale clear.
+_PAIR_TABLE: Dict[int, Tuple[tuple, tuple]] = {}
+_PAIR_TABLE_MAX = 4096
+
+
+def _paired_ops(ops):
+    key = id(ops)
+    cached = _PAIR_TABLE.get(key)
+    if cached is not None and cached[0] is ops:
+        return cached[1]
     dispatch = _DISPATCH
-    for op in ops:
-        dispatch[op.__class__](op, state)
+    pairs = tuple((op, dispatch[op.__class__]) for op in ops)
+    if len(_PAIR_TABLE) >= _PAIR_TABLE_MAX:
+        _PAIR_TABLE.clear()
+    _PAIR_TABLE[key] = (ops, pairs)
+    return pairs
+
+
+def _run_ops(ops, state: ExecState) -> None:
+    for op, handler in _paired_ops(ops):
+        handler(op, state)
 
 
 def execute_plan(

@@ -16,10 +16,10 @@ import numpy as np
 
 from repro.errors import DataRaceError, DeviceMemoryError, LaunchConfigurationError
 from repro.gpusim.buffer import DeviceBuffer, HostBuffer
-from repro.gpusim.cost import CostModel, CostParameters, KernelCost
+from repro.gpusim.cost import CostParameters, KernelCost
 from repro.gpusim.engine import get_engine
 from repro.gpusim.launch import Dim3, normalize_dim3
-from repro.gpusim.races import RaceDetector, RaceReport
+from repro.gpusim.races import RaceReport
 
 
 class CopyDirection(enum.Enum):
@@ -176,9 +176,14 @@ class GpuDevice:
 
         mode = execution_mode if execution_mode is not None else self.execution_mode
         engine = get_engine(mode)
-        cost = CostModel(self.cost_parameters)
+        # The engine picks its accounting implementations (the jit engine
+        # substitutes streaming parity-exact ones); defaults are the stock
+        # CostModel / RaceDetector.
+        cost = engine.make_cost(
+            self.cost_parameters, grid_dim, block_dim, self.properties.warp_size
+        )
         races_enabled = self.detect_races if detect_races is None else detect_races
-        detector = RaceDetector() if races_enabled else None
+        detector = engine.make_races() if races_enabled else None
 
         stats = engine.run(
             kernel=kernel,

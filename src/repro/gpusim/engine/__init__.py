@@ -1,6 +1,6 @@
 """Execution engines of the GPU simulator.
 
-The simulator can execute a kernel launch with one of two interchangeable
+The simulator can execute a kernel launch with one of three interchangeable
 engines:
 
 * ``"reference"`` (:mod:`repro.gpusim.engine.reference`) — the original
@@ -14,6 +14,11 @@ engines:
   *identical* cycle counts and race verdicts at a fraction of the wall-clock
   time, but requires a vectorized kernel implementation (registered with
   :func:`vectorized_impl`).
+* ``"jit"`` (:mod:`repro.gpusim.engine.jit`) — runs plan-JIT kernels
+  (straight-line Python emitted by the ``lower.plan.codegen`` pass,
+  registered with :func:`jit_impl`) over the same grid-wide ``VecCtx``, and
+  substitutes streaming parity-exact cost/race accounting via the engine
+  factory hooks.  Same cycle counts and race verdicts again, faster still.
 
 Engines are selected per device (``GpuDevice(execution_mode=...)``) or per
 launch (``device.launch(..., execution_mode=...)``).
@@ -24,10 +29,13 @@ from repro.gpusim.engine.base import (
     EngineStats,
     ExecutionEngine,
     get_engine,
+    jit_impl,
+    resolve_jit,
     resolve_reference,
     resolve_vectorized,
     vectorized_impl,
 )
+from repro.gpusim.engine.jit import JitCostModel, JitEngine, JitRaceDetector
 from repro.gpusim.engine.reference import ReferenceEngine
 from repro.gpusim.engine.vectorized import VecCtx, VecLocalBuffer, VecSharedBuffer, VectorizedEngine
 
@@ -35,12 +43,17 @@ __all__ = [
     "EXECUTION_MODES",
     "EngineStats",
     "ExecutionEngine",
+    "JitCostModel",
+    "JitEngine",
+    "JitRaceDetector",
     "ReferenceEngine",
     "VecCtx",
     "VecLocalBuffer",
     "VecSharedBuffer",
     "VectorizedEngine",
     "get_engine",
+    "jit_impl",
+    "resolve_jit",
     "resolve_reference",
     "resolve_vectorized",
     "vectorized_impl",

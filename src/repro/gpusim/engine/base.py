@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Tuple
 
 from repro.errors import LaunchConfigurationError
-from repro.gpusim.cost import CostModel
+from repro.gpusim.cost import CostModel, CostParameters
 from repro.gpusim.races import RaceDetector
 
 Dim3 = Tuple[int, int, int]
@@ -16,6 +16,8 @@ Dim3 = Tuple[int, int, int]
 _VECTORIZED_ATTR = "__vectorized_impl__"
 #: Attribute linking a vectorized kernel back to its reference implementation.
 _REFERENCE_ATTR = "__reference_impl__"
+#: Attribute linking a reference kernel to its jit-compiled implementation.
+_JIT_ATTR = "__jit_impl__"
 
 
 @dataclass
@@ -42,6 +44,24 @@ class ExecutionEngine(abc.ABC):
         warp_size: int = 32,
     ) -> EngineStats:
         """Execute every thread of the launch; mutates buffers in ``args``."""
+
+    # -- accounting factories ---------------------------------------------------
+    # The device asks the engine for its cost model and race detector so an
+    # engine can substitute parity-exact faster implementations (the jit
+    # engine's streaming accounting); the defaults are the stock classes.
+    def make_cost(
+        self,
+        params: CostParameters,
+        grid_dim: Dim3,
+        block_dim: Dim3,
+        warp_size: int,
+    ) -> CostModel:
+        """The cost model one launch under this engine records into."""
+        return CostModel(params)
+
+    def make_races(self) -> RaceDetector:
+        """The race detector one launch under this engine records into."""
+        return RaceDetector()
 
 
 def vectorized_impl(reference_kernel: Callable) -> Callable[[Callable], Callable]:
@@ -80,8 +100,30 @@ def resolve_reference(kernel: Callable) -> Callable:
     return getattr(kernel, _REFERENCE_ATTR, kernel)
 
 
+def jit_impl(reference_kernel: Callable) -> Callable[[Callable], Callable]:
+    """Decorator registering a jit-compiled implementation for a kernel.
+
+    Same registration shape as :func:`vectorized_impl`; the jit engine
+    resolves this attribute.  ``DescendKernel.launch`` registers the
+    plan-codegen entry here per launch.
+    """
+
+    def register(jit_kernel: Callable) -> Callable:
+        setattr(reference_kernel, _JIT_ATTR, jit_kernel)
+        setattr(jit_kernel, _JIT_ATTR, jit_kernel)
+        setattr(jit_kernel, _REFERENCE_ATTR, reference_kernel)
+        return jit_kernel
+
+    return register
+
+
+def resolve_jit(kernel: Callable) -> Optional[Callable]:
+    """The jit implementation registered for ``kernel`` (or ``None``)."""
+    return getattr(kernel, _JIT_ATTR, None)
+
+
 #: The execution modes a device or launch can select.
-EXECUTION_MODES: Tuple[str, ...] = ("reference", "vectorized")
+EXECUTION_MODES: Tuple[str, ...] = ("reference", "vectorized", "jit")
 
 # Engine instances are stateless; built lazily to avoid circular imports.
 _ENGINES = {}
@@ -90,10 +132,11 @@ _ENGINES = {}
 def get_engine(mode: str) -> ExecutionEngine:
     """Look up an engine instance by mode name."""
     if not _ENGINES:
+        from repro.gpusim.engine.jit import JitEngine
         from repro.gpusim.engine.reference import ReferenceEngine
         from repro.gpusim.engine.vectorized import VectorizedEngine
 
-        for engine in (ReferenceEngine(), VectorizedEngine()):
+        for engine in (ReferenceEngine(), VectorizedEngine(), JitEngine()):
             _ENGINES[engine.name] = engine
     try:
         return _ENGINES[mode]

@@ -1,0 +1,65 @@
+# plan-jit source for `matmul` (exec gpu.grid<XY<4, 4>, XY<8, 8>>, 13 slots)
+def _matmul_jit(ctx, args, _env, C, rt):
+    _env = dict(_env)
+    _natf = rt.natf(_env)
+    _mask = None
+    _coords = {}
+    _bw, _tw, _pb, _pt = rt.init_windows(C[0], _env)
+    s0 = rt.arg(args, 'a')
+    s1 = rt.arg(args, 'b')
+    s2 = rt.arg(args, 'c')
+    s3 = s4 = s5 = s6 = s7 = s8 = s9 = s10 = None
+    s11 = s12 = None
+    _sc1 = rt.sched_enter(C[1], _bw, _tw, _pb, _pt, _coords, ctx)  # sched(Y) brow
+    try:
+        _sc2 = rt.sched_enter(C[2], _bw, _tw, _pb, _pt, _coords, ctx)  # sched(X) bcol
+        try:
+            s3 = rt.alloc(C[3], _env, ctx)  # alloc gpu.shared #0
+            s4 = rt.alloc(C[4], _env, ctx)  # alloc gpu.shared #1
+            _sc3 = rt.sched_enter(C[5], _bw, _tw, _pb, _pt, _coords, ctx)  # sched(Y) ty
+            try:
+                _sc4 = rt.sched_enter(C[6], _bw, _tw, _pb, _pt, _coords, ctx)  # sched(X) tx
+                try:
+                    s5 = 0.0
+                    _lo5 = _natf(C[7])  # 0
+                    _hi5 = _natf(C[8])  # 4
+                    _pv5 = _env.get('p')
+                    for _i5 in range(_lo5, _hi5):  # for p
+                        _env['p'] = _i5
+                        s6 = rt.read(C[9], s0, (), _natf, _coords, ctx, _mask)  # read a.group_by_tile::<8, 8>[[brow]][p][[ty]][[tx]]
+                        s3 = rt.store(C[10], s3, (), s6, _natf, _coords, ctx, _mask)  # store a_tile[[ty]][[tx]]
+                        s7 = rt.read(C[11], s1, (), _natf, _coords, ctx, _mask)  # read b.group_by_tile::<8, 8>[p][[bcol]][[ty]][[tx]]
+                        s4 = rt.store(C[12], s4, (), s7, _natf, _coords, ctx, _mask)  # store b_tile[[ty]][[tx]]
+                        assert _mask is None, "sync under an active mask escaped lowering checks"
+                        ctx.sync()
+                        _lo6 = _natf(C[13])  # 0
+                        _hi6 = _natf(C[14])  # 8
+                        _pv6 = _env.get('kk')
+                        for _i6 in range(_lo6, _hi6):  # for kk
+                            _env['kk'] = _i6
+                            s8 = rt.read(C[15], s5, (), _natf, _coords, ctx, _mask)  # read acc
+                            s9 = rt.read(C[16], s3, (), _natf, _coords, ctx, _mask)  # read a_tile[[ty]][kk]
+                            s10 = rt.read(C[17], s4, (), _natf, _coords, ctx, _mask)  # read b_tile[kk][[tx]]
+                            ctx.arith(2, where=_mask)
+                            s11 = (s8 + (s9 * s10))
+                            s5 = rt.store(C[18], s5, (), s11, _natf, _coords, ctx, _mask)  # store acc
+                        if _pv6 is None:
+                            _env.pop('kk', None)
+                        else:
+                            _env['kk'] = _pv6
+                        assert _mask is None, "sync under an active mask escaped lowering checks"
+                        ctx.sync()
+                    if _pv5 is None:
+                        _env.pop('p', None)
+                    else:
+                        _env['p'] = _pv5
+                    s12 = rt.read(C[19], s5, (), _natf, _coords, ctx, _mask)  # read acc
+                    s2 = rt.store(C[20], s2, (), s12, _natf, _coords, ctx, _mask)  # store c.group_by_tile::<8, 8>[[brow]][[bcol]][[ty]][[tx]]
+                finally:
+                    rt.sched_exit(C[6], _sc4, _coords)
+            finally:
+                rt.sched_exit(C[5], _sc3, _coords)
+        finally:
+            rt.sched_exit(C[2], _sc2, _coords)
+    finally:
+        rt.sched_exit(C[1], _sc1, _coords)

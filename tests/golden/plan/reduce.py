@@ -1,0 +1,87 @@
+# plan-jit source for `block_reduce` (exec gpu.grid<X<64>, X<64>>, 8 slots)
+def _block_reduce_jit(ctx, args, _env, C, rt):
+    _env = dict(_env)
+    _natf = rt.natf(_env)
+    _mask = None
+    _coords = {}
+    _bw, _tw, _pb, _pt = rt.init_windows(C[0], _env)
+    s0 = rt.arg(args, 'input')
+    s1 = rt.arg(args, 'output')
+    s2 = s3 = s4 = s5 = s6 = s7 = None
+    _sc1 = rt.sched_enter(C[1], _bw, _tw, _pb, _pt, _coords, ctx)  # sched(X) block
+    try:
+        s2 = rt.alloc(C[2], _env, ctx)  # alloc gpu.shared #0
+        _sc2 = rt.sched_enter(C[3], _bw, _tw, _pb, _pt, _coords, ctx)  # sched(X) thread
+        try:
+            s3 = rt.read(C[4], s0, (), _natf, _coords, ctx, _mask)  # read input.group::<64>[[block]][[thread]]
+            s2 = rt.store(C[5], s2, (), s3, _natf, _coords, ctx, _mask)  # store tmp[[thread]]
+        finally:
+            rt.sched_exit(C[3], _sc2, _coords)
+        _lo3 = _natf(C[6])  # 0
+        _hi3 = _natf(C[7])  # 6
+        _pv3 = _env.get('k')
+        for _i3 in range(_lo3, _hi3):  # for k
+            _env['k'] = _i3
+            assert _mask is None, "sync under an active mask escaped lowering checks"
+            ctx.sync()
+            _w4, _lo4, _hi4, _ps4, _fc4 = rt.split_enter(C[8], _bw, _tw, _pb, _natf, ctx)  # split X @ (64 / (2 ^ (k + 1)))
+            _om4 = _mask
+            _fm4 = _fc4 if _om4 is None else (_om4 & _fc4)
+            if _fm4.any():
+                _w4[C[8].dim] = [_lo4, _lo4 + _ps4]
+                _mask = _fm4
+                try:
+                    _sc5 = rt.sched_enter(C[9], _bw, _tw, _pb, _pt, _coords, ctx)  # sched(X) thread
+                    try:
+                        s4 = rt.read(C[10], s2, (), _natf, _coords, ctx, _mask)  # read tmp.split::<(64 / (2 ^ (k + 1)))>.fst[[thread]]
+                        s5 = rt.read(C[11], s2, (), _natf, _coords, ctx, _mask)  # read tmp.split::<(64 / (2 ^ (k + 1)))>.snd.split::<(64 / (2 ^ (k + 1)))>.fst[[thread]]
+                        ctx.arith(1, where=_mask)
+                        s6 = (s4 + s5)
+                        s2 = rt.store(C[12], s2, (), s6, _natf, _coords, ctx, _mask)  # store tmp.split::<(64 / (2 ^ (k + 1)))>.fst[[thread]]
+                    finally:
+                        rt.sched_exit(C[9], _sc5, _coords)
+                finally:
+                    _w4[C[8].dim] = [_lo4, _hi4]
+                    _mask = _om4
+            _sm4 = ~_fc4 if _om4 is None else (_om4 & ~_fc4)
+            if _sm4.any():
+                _w4[C[8].dim] = [_lo4 + _ps4, _hi4]
+                _mask = _sm4
+                try:
+                    pass
+                finally:
+                    _w4[C[8].dim] = [_lo4, _hi4]
+                    _mask = _om4
+        if _pv3 is None:
+            _env.pop('k', None)
+        else:
+            _env['k'] = _pv3
+        assert _mask is None, "sync under an active mask escaped lowering checks"
+        ctx.sync()
+        _w6, _lo6, _hi6, _ps6, _fc6 = rt.split_enter(C[13], _bw, _tw, _pb, _natf, ctx)  # split X @ 1
+        _om6 = _mask
+        _fm6 = _fc6 if _om6 is None else (_om6 & _fc6)
+        if _fm6.any():
+            _w6[C[13].dim] = [_lo6, _lo6 + _ps6]
+            _mask = _fm6
+            try:
+                _sc7 = rt.sched_enter(C[14], _bw, _tw, _pb, _pt, _coords, ctx)  # sched(X) t
+                try:
+                    s7 = rt.read(C[15], s2, (), _natf, _coords, ctx, _mask)  # read tmp.split::<1>.fst[[t]]
+                    s1 = rt.store(C[16], s1, (), s7, _natf, _coords, ctx, _mask)  # store output[[block]]
+                finally:
+                    rt.sched_exit(C[14], _sc7, _coords)
+            finally:
+                _w6[C[13].dim] = [_lo6, _hi6]
+                _mask = _om6
+        _sm6 = ~_fc6 if _om6 is None else (_om6 & ~_fc6)
+        if _sm6.any():
+            _w6[C[13].dim] = [_lo6 + _ps6, _hi6]
+            _mask = _sm6
+            try:
+                pass
+            finally:
+                _w6[C[13].dim] = [_lo6, _hi6]
+                _mask = _om6
+    finally:
+        rt.sched_exit(C[1], _sc1, _coords)

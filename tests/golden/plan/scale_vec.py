@@ -1,0 +1,22 @@
+# plan-jit source for `scale_vec` (exec gpu.grid<X<16>, X<64>>, 4 slots)
+def _scale_vec_jit(ctx, args, _env, C, rt):
+    _env = dict(_env)
+    _natf = rt.natf(_env)
+    _mask = None
+    _coords = {}
+    _bw, _tw, _pb, _pt = rt.init_windows(C[0], _env)
+    s0 = rt.arg(args, 'vec')
+    s1 = s2 = s3 = None
+    _sc1 = rt.sched_enter(C[1], _bw, _tw, _pb, _pt, _coords, ctx)  # sched(X) block
+    try:
+        _sc2 = rt.sched_enter(C[2], _bw, _tw, _pb, _pt, _coords, ctx)  # sched(X) thread
+        try:
+            s1 = rt.read(C[3], s0, (), _natf, _coords, ctx, _mask)  # read vec.group::<64>[[block]][[thread]]
+            s2 = 3.0
+            ctx.arith(1, where=_mask)
+            s3 = (s1 * s2)
+            s0 = rt.store(C[4], s0, (), s3, _natf, _coords, ctx, _mask)  # store vec.group::<64>[[block]][[thread]]
+        finally:
+            rt.sched_exit(C[2], _sc2, _coords)
+    finally:
+        rt.sched_exit(C[1], _sc1, _coords)

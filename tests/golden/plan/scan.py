@@ -1,0 +1,139 @@
+# plan-jit source for `scan_blocks` (exec gpu.grid<X<16>, X<32>>, 20 slots)
+def _scan_blocks_jit(ctx, args, _env, C, rt):
+    _env = dict(_env)
+    _natf = rt.natf(_env)
+    _mask = None
+    _coords = {}
+    _bw, _tw, _pb, _pt = rt.init_windows(C[0], _env)
+    s0 = rt.arg(args, 'input')
+    s1 = rt.arg(args, 'output')
+    s2 = rt.arg(args, 'block_sums')
+    s3 = s4 = s5 = s6 = s7 = s8 = s9 = s10 = None
+    s11 = s12 = s13 = s14 = s15 = s16 = s17 = s18 = None
+    s19 = None
+    _sc1 = rt.sched_enter(C[1], _bw, _tw, _pb, _pt, _coords, ctx)  # sched(X) block
+    try:
+        s3 = rt.alloc(C[2], _env, ctx)  # alloc gpu.shared #0
+        _sc2 = rt.sched_enter(C[3], _bw, _tw, _pb, _pt, _coords, ctx)  # sched(X) thread
+        try:
+            s4 = 0.0
+            _lo3 = _natf(C[4])  # 0
+            _hi3 = _natf(C[5])  # 4
+            _pv3 = _env.get('j')
+            for _i3 in range(_lo3, _hi3):  # for j
+                _env['j'] = _i3
+                s5 = rt.read(C[6], s4, (), _natf, _coords, ctx, _mask)  # read running
+                s6 = rt.read(C[7], s0, (), _natf, _coords, ctx, _mask)  # read input.group::<128>[[block]].group::<4>[[thread]][j]
+                ctx.arith(1, where=_mask)
+                s7 = (s5 + s6)
+                s4 = rt.store(C[8], s4, (), s7, _natf, _coords, ctx, _mask)  # store running
+                s8 = rt.read(C[9], s4, (), _natf, _coords, ctx, _mask)  # read running
+                s1 = rt.store(C[10], s1, (), s8, _natf, _coords, ctx, _mask)  # store output.group::<128>[[block]].group::<4>[[thread]][j]
+            if _pv3 is None:
+                _env.pop('j', None)
+            else:
+                _env['j'] = _pv3
+            s9 = rt.read(C[11], s4, (), _natf, _coords, ctx, _mask)  # read running
+            s3 = rt.store(C[12], s3, (), s9, _natf, _coords, ctx, _mask)  # store sums[[thread]]
+        finally:
+            rt.sched_exit(C[3], _sc2, _coords)
+        assert _mask is None, "sync under an active mask escaped lowering checks"
+        ctx.sync()
+        _w4, _lo4, _hi4, _ps4, _fc4 = rt.split_enter(C[13], _bw, _tw, _pb, _natf, ctx)  # split X @ 1
+        _om4 = _mask
+        _fm4 = _fc4 if _om4 is None else (_om4 & _fc4)
+        if _fm4.any():
+            _w4[C[13].dim] = [_lo4, _lo4 + _ps4]
+            _mask = _fm4
+            try:
+                _sc5 = rt.sched_enter(C[14], _bw, _tw, _pb, _pt, _coords, ctx)  # sched(X) t
+                try:
+                    s10 = 0.0
+                    _lo6 = _natf(C[15])  # 0
+                    _hi6 = _natf(C[16])  # 32
+                    _pv6 = _env.get('i')
+                    for _i6 in range(_lo6, _hi6):  # for i
+                        _env['i'] = _i6
+                        s11 = rt.read(C[17], s3, (), _natf, _coords, ctx, _mask)  # read sums[i]
+                        s12 = rt.read(C[18], s10, (), _natf, _coords, ctx, _mask)  # read acc
+                        s3 = rt.store(C[19], s3, (), s12, _natf, _coords, ctx, _mask)  # store sums[i]
+                        s13 = rt.read(C[20], s10, (), _natf, _coords, ctx, _mask)  # read acc
+                        s14 = rt.read(C[21], s11, (), _natf, _coords, ctx, _mask)  # read value
+                        ctx.arith(1, where=_mask)
+                        s15 = (s13 + s14)
+                        s10 = rt.store(C[22], s10, (), s15, _natf, _coords, ctx, _mask)  # store acc
+                    if _pv6 is None:
+                        _env.pop('i', None)
+                    else:
+                        _env['i'] = _pv6
+                    s16 = rt.read(C[23], s10, (), _natf, _coords, ctx, _mask)  # read acc
+                    s2 = rt.store(C[24], s2, (), s16, _natf, _coords, ctx, _mask)  # store block_sums[[block]]
+                finally:
+                    rt.sched_exit(C[14], _sc5, _coords)
+            finally:
+                _w4[C[13].dim] = [_lo4, _hi4]
+                _mask = _om4
+        _sm4 = ~_fc4 if _om4 is None else (_om4 & ~_fc4)
+        if _sm4.any():
+            _w4[C[13].dim] = [_lo4 + _ps4, _hi4]
+            _mask = _sm4
+            try:
+                pass
+            finally:
+                _w4[C[13].dim] = [_lo4, _hi4]
+                _mask = _om4
+        assert _mask is None, "sync under an active mask escaped lowering checks"
+        ctx.sync()
+        _sc7 = rt.sched_enter(C[25], _bw, _tw, _pb, _pt, _coords, ctx)  # sched(X) thread
+        try:
+            _lo8 = _natf(C[26])  # 0
+            _hi8 = _natf(C[27])  # 4
+            _pv8 = _env.get('j')
+            for _i8 in range(_lo8, _hi8):  # for j
+                _env['j'] = _i8
+                s17 = rt.read(C[28], s1, (), _natf, _coords, ctx, _mask)  # read output.group::<128>[[block]].group::<4>[[thread]][j]
+                s18 = rt.read(C[29], s3, (), _natf, _coords, ctx, _mask)  # read sums[[thread]]
+                ctx.arith(1, where=_mask)
+                s19 = (s17 + s18)
+                s1 = rt.store(C[30], s1, (), s19, _natf, _coords, ctx, _mask)  # store output.group::<128>[[block]].group::<4>[[thread]][j]
+            if _pv8 is None:
+                _env.pop('j', None)
+            else:
+                _env['j'] = _pv8
+        finally:
+            rt.sched_exit(C[25], _sc7, _coords)
+    finally:
+        rt.sched_exit(C[1], _sc1, _coords)
+
+# plan-jit source for `add_offsets` (exec gpu.grid<X<16>, X<32>>, 5 slots)
+def _add_offsets_jit(ctx, args, _env, C, rt):
+    _env = dict(_env)
+    _natf = rt.natf(_env)
+    _mask = None
+    _coords = {}
+    _bw, _tw, _pb, _pt = rt.init_windows(C[0], _env)
+    s0 = rt.arg(args, 'output')
+    s1 = rt.arg(args, 'offsets')
+    s2 = s3 = s4 = None
+    _sc1 = rt.sched_enter(C[1], _bw, _tw, _pb, _pt, _coords, ctx)  # sched(X) block
+    try:
+        _sc2 = rt.sched_enter(C[2], _bw, _tw, _pb, _pt, _coords, ctx)  # sched(X) thread
+        try:
+            _lo3 = _natf(C[3])  # 0
+            _hi3 = _natf(C[4])  # 4
+            _pv3 = _env.get('j')
+            for _i3 in range(_lo3, _hi3):  # for j
+                _env['j'] = _i3
+                s2 = rt.read(C[5], s0, (), _natf, _coords, ctx, _mask)  # read output.group::<128>[[block]].group::<4>[[thread]][j]
+                s3 = rt.read(C[6], s1, (), _natf, _coords, ctx, _mask)  # read offsets[[block]]
+                ctx.arith(1, where=_mask)
+                s4 = (s2 + s3)
+                s0 = rt.store(C[7], s0, (), s4, _natf, _coords, ctx, _mask)  # store output.group::<128>[[block]].group::<4>[[thread]][j]
+            if _pv3 is None:
+                _env.pop('j', None)
+            else:
+                _env['j'] = _pv3
+        finally:
+            rt.sched_exit(C[2], _sc2, _coords)
+    finally:
+        rt.sched_exit(C[1], _sc1, _coords)

@@ -1,0 +1,43 @@
+# plan-jit source for `transpose` (exec gpu.grid<XY<4, 4>, XY<16, 4>>, 5 slots)
+def _transpose_jit(ctx, args, _env, C, rt):
+    _env = dict(_env)
+    _natf = rt.natf(_env)
+    _mask = None
+    _coords = {}
+    _bw, _tw, _pb, _pt = rt.init_windows(C[0], _env)
+    s0 = rt.arg(args, 'input')
+    s1 = rt.arg(args, 'output')
+    s2 = s3 = s4 = None
+    _sc1 = rt.sched_enter(C[1], _bw, _tw, _pb, _pt, _coords, ctx)  # sched(Y,X) block
+    try:
+        s2 = rt.alloc(C[2], _env, ctx)  # alloc gpu.shared #0
+        _sc2 = rt.sched_enter(C[3], _bw, _tw, _pb, _pt, _coords, ctx)  # sched(Y,X) thread
+        try:
+            _lo3 = _natf(C[4])  # 0
+            _hi3 = _natf(C[5])  # 4
+            _pv3 = _env.get('i')
+            for _i3 in range(_lo3, _hi3):  # for i
+                _env['i'] = _i3
+                s3 = rt.read(C[6], s0, (), _natf, _coords, ctx, _mask)  # read input.group_by_tile::<16, 16>.transpose[[block]].group_by_row::<16, 4>[[thread]][i]
+                s2 = rt.store(C[7], s2, (), s3, _natf, _coords, ctx, _mask)  # store tmp.group_by_row::<16, 4>[[thread]][i]
+            if _pv3 is None:
+                _env.pop('i', None)
+            else:
+                _env['i'] = _pv3
+            assert _mask is None, "sync under an active mask escaped lowering checks"
+            ctx.sync()
+            _lo4 = _natf(C[8])  # 0
+            _hi4 = _natf(C[9])  # 4
+            _pv4 = _env.get('i')
+            for _i4 in range(_lo4, _hi4):  # for i
+                _env['i'] = _i4
+                s4 = rt.read(C[10], s2, (), _natf, _coords, ctx, _mask)  # read tmp.transpose.group_by_row::<16, 4>[[thread]][i]
+                s1 = rt.store(C[11], s1, (), s4, _natf, _coords, ctx, _mask)  # store output.group_by_tile::<16, 16>[[block]].group_by_row::<16, 4>[[thread]][i]
+            if _pv4 is None:
+                _env.pop('i', None)
+            else:
+                _env['i'] = _pv4
+        finally:
+            rt.sched_exit(C[3], _sc2, _coords)
+    finally:
+        rt.sched_exit(C[1], _sc1, _coords)

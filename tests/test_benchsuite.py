@@ -259,7 +259,10 @@ class TestSweepOrchestrator:
         )
 
         def stable(row):
-            drop = ("reference_wall_s", "vectorized_wall_s", "speedup")
+            drop = (
+                "reference_wall_s", "vectorized_wall_s", "jit_wall_s",
+                "speedup", "jit_speedup",
+            )
             return {k: v for k, v in row.as_dict().items() if k not in drop}
 
         assert [stable(r) for r in serial.rows] == [stable(r) for r in parallel.rows]

@@ -42,14 +42,16 @@ from repro.descend.builder import (
 from repro.descend.interp import DescendKernel
 from repro.descend.nat import NatConst
 from repro.descend.plan import (
+    CodegenUnsupported,
     DevicePlan,
     PlanUnsupported,
     compile_device_plan,
     disassemble,
+    generate_plan_source,
     lower_device_plan,
     optimize_plan,
 )
-from repro.descend.plan.ir import ConstOp, FusedArithOp
+from repro.descend.plan.ir import ConstOp, FusedArithOp, IfOp
 from repro.descend_programs import vector
 from repro.gpusim import GpuDevice
 
@@ -310,4 +312,160 @@ class TestGoldenIR:
         assert dump == path.read_text(), (
             f"IR changed for {name}; review the diff and regenerate with "
             f"REPRO_REGEN_GOLDEN=1 python -m pytest {__file__}"
+        )
+
+
+class TestGoldenJitSource:
+    """Checked-in generated-Python dumps of the Figure 8 programs.
+
+    The `lower.plan.codegen` pass is a source-to-source compiler, so its
+    output is reviewable exactly like the IR dumps above.  Regenerate after
+    an intentional codegen change with::
+
+        REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_plan.py
+    """
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_figure8_jit_source_matches_golden(self, name):
+        prog = PROGRAMS[name]()
+        dump = "\n".join(
+            generate_plan_source(compile_device_plan(fun_def)).source
+            for fun_def in prog.gpu_functions()
+        )
+        path = GOLDEN_DIR / f"{name}.py"
+        if os.environ.get("REPRO_REGEN_GOLDEN") == "1":
+            GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+            path.write_text(dump)
+            pytest.skip(f"regenerated {path}")
+        assert path.exists(), (
+            f"missing golden jit source dump {path}; generate it with "
+            f"REPRO_REGEN_GOLDEN=1 python -m pytest {__file__}"
+        )
+        assert dump == path.read_text(), (
+            f"generated source changed for {name}; review the diff and regenerate "
+            f"with REPRO_REGEN_GOLDEN=1 python -m pytest {__file__}"
+        )
+
+
+class TestEngineDifferential:
+    """reference vs vectorized vs jit: byte-identical observable behaviour.
+
+    The jit engine replays the *same* plan through generated straight-line
+    source, so cycles, barriers, races, and output buffers must all match
+    the tree-walking reference interpreter exactly — not approximately.
+    """
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_figure8_engines_agree(self, name):
+        prog = PROGRAMS[name]()
+        for fun_def in prog.gpu_functions():
+            results = {}
+            for engine in ("reference", "vectorized", "jit"):
+                device = GpuDevice(execution_mode=engine)
+                args = {}
+                for p in fun_def.params:
+                    shape = _param_shape(p)
+                    args[p.name] = (
+                        device.to_device(
+                            np.linspace(1.0, 2.0, int(np.prod(shape))).reshape(shape)
+                        )
+                        if shape
+                        else 1.5
+                    )
+                kernel = DescendKernel(prog, fun_def.name)
+                launch = kernel.launch(device, args)
+                assert launch.execution_mode == engine, (
+                    f"{fun_def.name} fell back from {engine}: {kernel.fallback_reason}"
+                )
+                buffers = {
+                    p.name: device.to_host(args[p.name]).copy()
+                    for p in fun_def.params
+                    if not isinstance(args[p.name], float)
+                }
+                results[engine] = (launch.cycles, launch.barriers, launch.races, buffers)
+            ref = results["reference"]
+            for engine in ("vectorized", "jit"):
+                got = results[engine]
+                assert got[0] == ref[0], f"{fun_def.name}: {engine} cycles diverged"
+                assert got[1] == ref[1], f"{fun_def.name}: {engine} barriers diverged"
+                assert got[2] == ref[2], f"{fun_def.name}: {engine} races diverged"
+                for key in ref[3]:
+                    assert np.array_equal(got[3][key], ref[3][key]), (
+                        f"{fun_def.name}: {engine} buffer {key} diverged"
+                    )
+
+    def test_jit_reports_races_identically(self):
+        from repro.descend_programs import unsafe
+
+        def _normalized(report):
+            # buffer_id is a device-global counter, so it differs between the
+            # two device instances; everything else must be byte-identical.
+            return tuple(
+                (a.offset, a.block, a.thread, a.epoch, a.is_write, a.buffer_label)
+                for a in (report.first, report.second)
+            )
+
+        # Small enough that every racy location fits under the report cap;
+        # otherwise the engines keep different truncated subsets.
+        prog = unsafe.build_rev_per_block_race(n=8, block_size=8)
+        results = {}
+        for engine in ("reference", "vectorized", "jit"):
+            device = GpuDevice(execution_mode=engine)
+            fun_def = next(iter(prog.gpu_functions()))
+            args = {}
+            for p in fun_def.params:
+                shape = _param_shape(p)
+                args[p.name] = (
+                    device.to_device(np.zeros(shape)) if shape else 1.0
+                )
+            kernel = DescendKernel(prog, fun_def.name)
+            launch = kernel.launch(device, args, detect_races=True)
+            assert launch.execution_mode == engine, kernel.fallback_reason
+            results[engine] = [_normalized(r) for r in launch.races]
+        assert results["jit"], "expected the racy program to race"
+        # The jit detector replays the same batched analysis as the plan
+        # interpreter: identical reports in identical order.
+        assert results["jit"] == results["vectorized"]
+        # The reference engine records accesses one lane at a time, so its
+        # report order may differ, but the set of racing pairs must agree.
+        assert sorted(results["jit"]) == sorted(results["reference"])
+
+
+class TestJitFallback:
+    def test_oversized_codegen_is_unsupported(self):
+        """Dual-path IfOp emission can explode; codegen refuses, not OOMs."""
+        plan = compile_device_plan(
+            vector.build_scale_program(n=64, block_size=32).fun("scale_vec")
+        )
+        body_ops = plan.body
+        for _ in range(16):
+            body_ops = (IfOp(cond=0, then_ops=body_ops, else_ops=body_ops),)
+        bomb = dataclasses.replace(plan, body=body_ops)
+        with pytest.raises(CodegenUnsupported, match="lines"):
+            generate_plan_source(bomb)
+
+    def test_launch_degrades_to_vectorized_with_reason(self):
+        """jit launch with no generated source runs vectorized, not reference."""
+        prog = vector.build_scale_program(n=128, block_size=32)
+        data = np.arange(128, dtype=np.float64)
+
+        vec_device = GpuDevice(execution_mode="vectorized")
+        vec_buf = vec_device.to_device(data)
+        vec_launch = DescendKernel(prog, "scale_vec").launch(
+            vec_device, {"vec": vec_buf}
+        )
+
+        jit_device = GpuDevice(execution_mode="jit")
+        jit_buf = jit_device.to_device(data)
+        kernel = DescendKernel(prog, "scale_vec")
+        # Inject a codegen refusal, exactly as the driver records one.
+        reason = "generated source exceeds 20000 lines"
+        kernel._plan_source_entry = (None, reason)
+        launch = kernel.launch(jit_device, {"vec": jit_buf})
+
+        assert launch.execution_mode == "vectorized"
+        assert kernel.fallback_reason == reason
+        assert launch.cycles == vec_launch.cycles
+        assert np.array_equal(
+            jit_device.to_host(jit_buf), vec_device.to_host(vec_buf)
         )

@@ -47,6 +47,11 @@ from repro.benchsuite.workloads import BENCHMARKS, SIZES, Workload, scale_factor
 from repro.errors import BenchmarkError
 from repro.gpusim import GpuDevice
 
+#: The Descend engine sweep covers the Figure 8 benchmarks plus the
+#: histogram and stencil workloads; the CUDA-lite sweep keeps the golden
+#: :data:`BENCHMARKS` rows so the checked-in trajectory stays comparable.
+DESCEND_BENCHMARKS = BENCHMARKS + ("histogram", "stencil")
+
 #: Sizes benchmarked by default and by the CI smoke job (``--quick``).
 DEFAULT_SIZES = ("small", "medium")
 QUICK_SIZES = ("small",)
@@ -491,7 +496,7 @@ def run_engine_bench(
 
 
 def run_descend_engine_bench(
-    benchmarks: Sequence[str] = BENCHMARKS,
+    benchmarks: Sequence[str] = DESCEND_BENCHMARKS,
     sizes: Optional[Sequence[str]] = None,
     scales: Optional[Sequence[int]] = None,
     rows: Optional[Sequence[Tuple[str, int]]] = None,
@@ -556,7 +561,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark the reference vs the vectorized execution engine"
     )
-    parser.add_argument("--benchmarks", nargs="*", default=list(BENCHMARKS), choices=list(BENCHMARKS))
+    parser.add_argument(
+        "--benchmarks", nargs="*", default=None, choices=list(DESCEND_BENCHMARKS),
+        help="workloads to sweep (default: the Figure 8 four, plus histogram "
+        "and stencil with --descend)",
+    )
     parser.add_argument("--sizes", nargs="*", default=None, choices=list(SIZES))
     parser.add_argument("--repeats", type=int, default=1)
     parser.add_argument(
@@ -604,6 +613,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--scales applies to the Descend variant; use --scale with the CUDA-lite bench")
     if args.descend and args.scale is not None and args.scales:
         parser.error("pass either --scale or --scales, not both")
+    benchmarks = (
+        list(args.benchmarks)
+        if args.benchmarks
+        else (list(DESCEND_BENCHMARKS) if args.descend else list(BENCHMARKS))
+    )
     progress = lambda msg: print(msg, file=sys.stderr)  # noqa: E731
     try:
         if args.descend:
@@ -619,7 +633,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             else:
                 scales = None
             result = run_descend_engine_bench(
-                benchmarks=args.benchmarks,
+                benchmarks=benchmarks,
                 sizes=sizes,
                 scales=scales,
                 repeats=args.repeats,
@@ -633,7 +647,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 list(QUICK_SIZES) if args.quick else list(DEFAULT_SIZES)
             )
             result = run_engine_bench(
-                benchmarks=args.benchmarks,
+                benchmarks=benchmarks,
                 sizes=sizes,
                 repeats=args.repeats,
                 progress=progress,

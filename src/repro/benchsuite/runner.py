@@ -24,14 +24,18 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.benchsuite.workloads import Workload, workload
+from repro.cudalite.kernels import histogram as cu_histogram
 from repro.cudalite.kernels import matmul as cu_matmul
 from repro.cudalite.kernels import reduce as cu_reduce
 from repro.cudalite.kernels import scan as cu_scan
+from repro.cudalite.kernels import stencil as cu_stencil
 from repro.cudalite.kernels import transpose as cu_transpose
 from repro.descend.api import compile_program
+from repro.descend_programs import histogram as d_histogram
 from repro.descend_programs import matmul as d_matmul
 from repro.descend_programs import reduce as d_reduce
 from repro.descend_programs import scan as d_scan
+from repro.descend_programs import stencil as d_stencil
 from repro.descend_programs import transpose as d_transpose
 from repro.errors import BenchmarkError
 from repro.gpusim import GpuDevice
@@ -138,6 +142,37 @@ def _run_cuda_matmul(device: GpuDevice, params: Dict[str, int], data: Tuple[np.n
     return launch.cycles, device.to_host(c_buf).reshape(m, n), len(launch.races), launch.cost.summary()
 
 
+def _run_cuda_histogram(device: GpuDevice, params: Dict[str, int], data: np.ndarray):
+    n, bins, num_blocks = params["n"], params["bins"], params["num_blocks"]
+    chunk = n // num_blocks
+    keys_buf = device.to_device(data, label="keys")
+    partials_buf = device.malloc((num_blocks * bins,), dtype=np.float64, label="partials")
+    bins_buf = device.malloc((bins,), dtype=np.float64, label="bins_out")
+    first = device.launch(
+        cu_histogram.histogram_partials_kernel, grid_dim=(num_blocks,), block_dim=(bins,),
+        args=(keys_buf, partials_buf, chunk), kernel_name="cuda_histogram_partials",
+    )
+    second = device.launch(
+        cu_histogram.combine_bins_kernel, grid_dim=(1,), block_dim=(bins,),
+        args=(partials_buf, bins_buf, num_blocks), kernel_name="cuda_combine_bins",
+    )
+    cycles = first.cycles + second.cycles
+    races = len(first.races) + len(second.races)
+    stats = {k: first.cost.summary()[k] + second.cost.summary()[k] for k in first.cost.summary()}
+    return cycles, device.to_host(bins_buf), races, stats
+
+
+def _run_cuda_stencil(device: GpuDevice, params: Dict[str, int], data: np.ndarray):
+    n, block_size = params["n"], params["block_size"]
+    input_buf = device.to_device(data, label="input")
+    output_buf = device.malloc((n,), dtype=np.float64, label="output")
+    launch = device.launch(
+        cu_stencil.stencil3_kernel, grid_dim=(n // block_size,), block_dim=(block_size,),
+        args=(input_buf, output_buf), kernel_name="cuda_stencil3",
+    )
+    return launch.cycles, device.to_host(output_buf), len(launch.races), launch.cost.summary()
+
+
 # ---------------------------------------------------------------------------
 # Descend variants
 # ---------------------------------------------------------------------------
@@ -157,6 +192,12 @@ _DESCEND_BUILDERS = {
     ),
     "matmul": lambda p: d_matmul.build_matmul_program(
         m=p["m"], k=p["k"], n=p["n"], tile=p["tile"]
+    ),
+    "histogram": lambda p: d_histogram.build_histogram_program(
+        n=p["n"], bins=p["bins"], num_blocks=p["num_blocks"]
+    ),
+    "stencil": lambda p: d_stencil.build_stencil_program(
+        n=p["n"], block_size=p["block_size"]
     ),
 }
 
@@ -236,6 +277,36 @@ def _run_descend_matmul(device: GpuDevice, params: Dict[str, int], data: Tuple[n
     return launch.cycles, device.to_host(c_buf), len(launch.races), launch.cost.summary()
 
 
+def _run_descend_histogram(device: GpuDevice, params: Dict[str, int], data: np.ndarray):
+    n, bins, num_blocks = params["n"], params["bins"], params["num_blocks"]
+    compiled = compile_program(_DESCEND_BUILDERS["histogram"](params))
+    keys_buf = device.to_device(data, label="keys")
+    bin_ids_buf = device.to_device(np.arange(bins, dtype=np.float64), label="bin_ids")
+    partials_buf = device.malloc((num_blocks * bins,), dtype=np.float64, label="partials")
+    bins_buf = device.malloc((bins,), dtype=np.float64, label="bins_out")
+    first = compiled.kernel("histogram_partials").launch(
+        device, {"keys": keys_buf, "bin_ids": bin_ids_buf, "partials": partials_buf}
+    )
+    second = compiled.kernel("combine_bins").launch(
+        device, {"partials": partials_buf, "bins_out": bins_buf}
+    )
+    cycles = first.cycles + second.cycles
+    races = len(first.races) + len(second.races)
+    stats = {k: first.cost.summary()[k] + second.cost.summary()[k] for k in first.cost.summary()}
+    return cycles, device.to_host(bins_buf), races, stats
+
+
+def _run_descend_stencil(device: GpuDevice, params: Dict[str, int], data: np.ndarray):
+    n = params["n"]
+    compiled = compile_program(_DESCEND_BUILDERS["stencil"](params))
+    input_buf = device.to_device(data, label="inp")
+    output_buf = device.malloc((n,), dtype=np.float64, label="out")
+    launch = compiled.kernel("stencil3").launch(
+        device, {"inp": input_buf, "out": output_buf}
+    )
+    return launch.cycles, device.to_host(output_buf), len(launch.races), launch.cost.summary()
+
+
 # ---------------------------------------------------------------------------
 # Putting both sides together
 # ---------------------------------------------------------------------------
@@ -260,6 +331,13 @@ def _reference_and_data(workload_: Workload):
         a = rng.random((params["m"], params["k"]))
         b = rng.random((params["k"], params["n"]))
         return (a, b), a @ b
+    if name == "histogram":
+        keys = rng.integers(0, params["bins"], params["n"]).astype(np.float64)
+        reference = np.bincount(keys.astype(np.int64), minlength=params["bins"]).astype(np.float64)
+        return keys, reference
+    if name == "stencil":
+        data = rng.random(params["n"] + 2)
+        return data, (data[:-2] + data[1:-1] + data[2:]) / 3.0
     raise BenchmarkError(f"unknown benchmark {name!r}")
 
 
@@ -268,6 +346,8 @@ _CUDA_RUNNERS = {
     "transpose": _run_cuda_transpose,
     "scan": _run_cuda_scan,
     "matmul": _run_cuda_matmul,
+    "histogram": _run_cuda_histogram,
+    "stencil": _run_cuda_stencil,
 }
 
 _DESCEND_RUNNERS = {
@@ -275,6 +355,8 @@ _DESCEND_RUNNERS = {
     "transpose": _run_descend_transpose,
     "scan": _run_descend_scan,
     "matmul": _run_descend_matmul,
+    "histogram": _run_descend_histogram,
+    "stencil": _run_descend_stencil,
 }
 
 

@@ -47,6 +47,16 @@ Sub-commands:
     (``BENCH_serve_throughput.json``: requests/s, p50/p99, cold vs warm
     store).
 
+``descendc fuzz [--seed N] [--count N] [--max-dims N] [--replay]``
+    Run the seed-driven differential fuzzer: generated Descend programs
+    (plus the workload seed corpus) checked against the cross-cutting
+    properties — verdict determinism, engine parity, race freedom of
+    well-typed programs, raw-vs-optimized plan agreement, diagnostic cache
+    stability.  Violations shrink to minimized repros persisted in the
+    store (kind ``fuzz-repro``); ``--replay`` re-checks every persisted
+    repro instead.  Nonzero exit iff a property was violated (or, with
+    ``--replay``, a repro still reproduces).
+
 ``descendc cache stats|clear|gc [--store PATH]``
     Inspect, empty, or garbage-collect the persistent artifact store.
 
@@ -411,6 +421,76 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return enginebench.main(forwarded)
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import run_fuzz, run_replay
+
+    store = None
+    path = _store_path(args)
+    if path:
+        try:
+            from repro.descend.store import ArtifactStore
+
+            store = ArtifactStore(path)
+        except OSError as exc:
+            print(f"error: cannot open artifact store {path!r}: {exc}", file=sys.stderr)
+            return 2
+
+    if args.replay:
+        if store is None:
+            print(
+                "error: --replay needs a store; pass --store PATH or set REPRO_STORE",
+                file=sys.stderr,
+            )
+            return 2
+        report = run_replay(store)
+        if args.json:
+            print(_json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(f"replay: {report['checked']} repro(s), {report['reproduced']} reproduce")
+            for entry in report["repros"]:
+                status = "REPRODUCES" if entry["reproduced"] else "fixed"
+                props = ", ".join(entry["failing"]) or "-"
+                print(f"  {entry['digest'][:12]}  {status:<10} {entry['property']} ({props})")
+        return 1 if report["reproduced"] else 0
+
+    report = run_fuzz(
+        seed=args.seed,
+        count=args.count,
+        max_dims=args.max_dims,
+        store=store,
+        shrink=not args.no_shrink,
+    )
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            f"fuzz: seed {report['seed']}, {report['cases']} case(s): "
+            f"{report['well_typed']} well-typed, {report['rejected']} rejected "
+            f"({report['mutants_rejected']}/{report['mutants']} mutants)"
+        )
+        if report["error_codes"]:
+            codes = ", ".join(
+                f"{code} x{n}" for code, n in sorted(report["error_codes"].items())
+            )
+            print(f"  rejection codes: {codes}")
+        if report["fallbacks"]:
+            for key, n in sorted(report["fallbacks"].items()):
+                print(f"  fallback: {key} x{n}")
+        if report["violations"]:
+            print(f"  {len(report['violations'])} property violation(s):")
+            for violation in report["violations"]:
+                print(
+                    f"    case {violation['case']}: {violation['property']}: "
+                    f"{violation['detail']}"
+                )
+            for repro in report["repros"]:
+                digest = repro["digest"][:12] if repro["digest"] else "(not stored)"
+                print(f"  minimized repro {digest}: {repro['property']}")
+        else:
+            print("  all properties held")
+    return 0 if report["ok"] else 1
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     path = _store_path(args)
     if not path:
@@ -436,8 +516,8 @@ def cmd_cache(args: argparse.Namespace) -> int:
                 f"  {stats['entries']} artifacts, {stats['total_bytes']} bytes "
                 f"(budget {stats['max_bytes']})"
             )
-            # Per-kind breakdown (program / failure / cuda / print / plan):
-            # where the blobs and the bytes actually go.
+            # Per-kind breakdown (program / failure / cuda / print / plan /
+            # fuzz-repro): where the blobs and the bytes actually go.
             if stats["kinds"]:
                 for kind, bucket in sorted(stats["kinds"].items()):
                     print(f"  {kind:<10} {bucket['count']:>5} blobs  {bucket['bytes']:>10} bytes")
@@ -590,6 +670,32 @@ def build_parser() -> argparse.ArgumentParser:
     cache_gc.add_argument("--max-bytes", type=int, default=None)
     cache_gc.add_argument("--json", action="store_true")
     cache_gc.set_defaults(func=cmd_cache)
+
+    fuzz = sub.add_parser(
+        "fuzz", parents=[common],
+        help="run the seed-driven differential fuzzer over generated programs",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed; (seed, count, max-dims) fully determine the report",
+    )
+    fuzz.add_argument(
+        "--count", type=int, default=100, help="number of random cases to generate"
+    )
+    fuzz.add_argument(
+        "--max-dims", type=int, default=16, dest="max_dims",
+        help="upper bound on the generated block size",
+    )
+    fuzz.add_argument(
+        "--replay", action="store_true",
+        help="re-check every fuzz-repro artifact in the store instead of fuzzing",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true", dest="no_shrink",
+        help="persist failing cases unminimized (faster on pervasive failures)",
+    )
+    fuzz.add_argument("--json", action="store_true", help="print the full report")
+    fuzz.set_defaults(func=cmd_fuzz)
 
     fig8 = sub.add_parser(
         "figure8", parents=[common], help="run the Figure 8 benchmark harness"

@@ -1,5 +1,17 @@
 """The handwritten CUDA-lite baseline kernels, one module per benchmark."""
 
-from repro.cudalite.kernels import buggy, matmul, reduce, scan, transpose, vector
+from repro.cudalite.kernels import (
+    buggy,
+    histogram,
+    matmul,
+    reduce,
+    scan,
+    stencil,
+    transpose,
+    vector,
+)
 
-__all__ = ["vector", "reduce", "transpose", "scan", "matmul", "buggy"]
+__all__ = [
+    "vector", "reduce", "transpose", "scan", "matmul",
+    "histogram", "stencil", "buggy",
+]

@@ -49,7 +49,7 @@ import pickle
 import tempfile
 import time
 from pathlib import Path
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro import faults
 from repro.descend.store.fingerprint import STORE_FORMAT, pipeline_fingerprint
@@ -455,6 +455,28 @@ class ArtifactStore:
         with self._locked():
             self._wipe_objects()
             self._save_index({})
+
+    def digests(self, kind: Optional[str] = None) -> Tuple[str, ...]:
+        """The digests currently indexed, optionally filtered by artifact kind.
+
+        Sorted for determinism (replay consumers iterate this).  Like every
+        other read, failures degrade to "nothing found" rather than raising.
+        """
+        try:
+            with self._locked():
+                entries = self._load_index()
+        except OSError:
+            self.errors += 1
+            return ()
+        if kind is None:
+            return tuple(sorted(entries))
+        return tuple(
+            sorted(
+                digest
+                for digest, entry in entries.items()
+                if str(entry.get("kind", "artifact")) == kind
+            )
+        )
 
     def stats(self) -> Dict[str, object]:
         with self._locked():

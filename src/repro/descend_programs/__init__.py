@@ -13,10 +13,30 @@ Modules:
 * :mod:`repro.descend_programs.transpose` — tiled matrix transposition (Listing 2),
 * :mod:`repro.descend_programs.scan` — two-kernel scan,
 * :mod:`repro.descend_programs.matmul` — tiled matrix multiplication,
+* :mod:`repro.descend_programs.histogram` — gather-style bin counting,
+* :mod:`repro.descend_programs.stencil` — three-point stencil via view windows,
 * :mod:`repro.descend_programs.unsafe` — the ill-typed programs of Section 2
   (each paired with the error code Descend rejects it with).
 """
 
-from repro.descend_programs import matmul, reduce, scan, transpose, unsafe, vector
+from repro.descend_programs import (
+    histogram,
+    matmul,
+    reduce,
+    scan,
+    stencil,
+    transpose,
+    unsafe,
+    vector,
+)
 
-__all__ = ["vector", "reduce", "transpose", "scan", "matmul", "unsafe"]
+__all__ = [
+    "vector",
+    "reduce",
+    "transpose",
+    "scan",
+    "matmul",
+    "histogram",
+    "stencil",
+    "unsafe",
+]

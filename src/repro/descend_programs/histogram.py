@@ -1,0 +1,116 @@
+"""Histogram in Descend: contended bin counting through views.
+
+The classic CUDA histogram contends on atomic adds; Descend has no atomics,
+and its type system (correctly) rejects any schedule in which two threads
+write the same bin.  The Descend idiom is therefore *gather-style*: every
+thread owns one bin, scans its block's chunk of the key stream, and counts
+the keys matching its bin behind a divergent ``if`` — every thread of a
+block reads every element of the chunk, so the race detector sees maximal
+overlapping read sets next to the per-thread uniq writes, exercising its
+batched checking paths.
+
+Kernel 1 (``histogram_partials``): grid of ``num_blocks`` blocks with one
+thread per bin.  Thread ``t`` reads its bin id from ``bin_ids`` (the host
+fills it with ``0..bins-1``), walks the block's chunk of ``keys``, and
+counts matches into a register; the count lands in the per-(block, bin)
+cell of ``partials``.
+
+Kernel 2 (``combine_bins``): one block of ``bins`` threads; thread ``t``
+sums column ``t`` of the ``num_blocks x bins`` partials matrix into
+``bins_out``.
+"""
+
+from __future__ import annotations
+
+from repro.descend.builder import *
+from repro.descend.ast import terms as T
+
+
+def _key_elem(chunk: int):
+    """``keys.group::<chunk>[[block]][j]`` — element ``j`` of the block's chunk,
+    read by *every* thread of the block (overlapping shared reads)."""
+    return var("keys").view("group", chunk).select("block").idx("j")
+
+
+def build_histogram_kernel(n: int, bins: int, num_blocks: int) -> T.FunDef:
+    """Per-block bin counts: ``partials[block][t] = |{j : keys_chunk[j] == t}|``."""
+    if n % num_blocks != 0:
+        raise ValueError("n must be divisible by num_blocks")
+    chunk = n // num_blocks
+    partial_cell = var("partials").view("group", bins).select("block").select("thread")
+    return fun(
+        "histogram_partials",
+        [
+            param("keys", shared_ref(GPU_GLOBAL, array(F64, n))),
+            param("bin_ids", shared_ref(GPU_GLOBAL, array(F64, bins))),
+            param("partials", uniq_ref(GPU_GLOBAL, array(F64, num_blocks * bins))),
+        ],
+        gpu_grid_spec("grid", dim_x(num_blocks), dim_x(bins)),
+        body(
+            sched(
+                "X",
+                "block",
+                "grid",
+                sched(
+                    "X",
+                    "thread",
+                    "block",
+                    let("my_bin", read(var("bin_ids").select("thread"))),
+                    let("count", lit_f64(0.0)),
+                    for_nat(
+                        "j",
+                        0,
+                        chunk,
+                        if_(
+                            eq(read(_key_elem(chunk)), read(var("my_bin"))),
+                            block(
+                                assign(var("count"), add(read(var("count")), lit_f64(1.0)))
+                            ),
+                        ),
+                    ),
+                    assign(partial_cell, read(var("count"))),
+                ),
+            )
+        ),
+    )
+
+
+def build_combine_kernel(bins: int, num_blocks: int) -> T.FunDef:
+    """Column sums of the partials matrix: ``bins_out[t] = sum_i partials[i][t]``."""
+    partial_row = var("partials").view("group", bins).idx("i").select("thread")
+    return fun(
+        "combine_bins",
+        [
+            param("partials", shared_ref(GPU_GLOBAL, array(F64, num_blocks * bins))),
+            param("bins_out", uniq_ref(GPU_GLOBAL, array(F64, bins))),
+        ],
+        gpu_grid_spec("grid", dim_x(1), dim_x(bins)),
+        body(
+            sched(
+                "X",
+                "block",
+                "grid",
+                sched(
+                    "X",
+                    "thread",
+                    "block",
+                    let("acc", lit_f64(0.0)),
+                    for_nat(
+                        "i",
+                        0,
+                        num_blocks,
+                        assign(var("acc"), add(read(var("acc")), read(partial_row))),
+                    ),
+                    assign(var("bins_out").select("thread"), read(var("acc"))),
+                ),
+            )
+        ),
+    )
+
+
+def build_histogram_program(n: int = 256, bins: int = 16, num_blocks: int = 4) -> T.Program:
+    """Both kernels; the host seeds ``bin_ids`` with ``0..bins-1``."""
+    return program(
+        build_histogram_kernel(n, bins, num_blocks),
+        build_combine_kernel(bins, num_blocks),
+    )

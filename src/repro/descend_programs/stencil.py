@@ -1,0 +1,79 @@
+"""Three-point stencil in Descend: halo exchange through view windows.
+
+``out[i] = (inp[i] + inp[i+1] + inp[i+2]) / 3`` over a padded input of
+``n + 2`` elements.  The halo is expressed purely with views: three
+overlapping windows of the padded input —
+
+* left   = ``inp.split::<n>.fst``                 (elements ``0 .. n``),
+* center = ``inp.split::<1>.snd.split::<n>.fst``  (elements ``1 .. n+1``),
+* right  = ``inp.split::<2>.snd``                 (elements ``2 .. n+2``),
+
+each grouped per block and selected per thread.  Neighbouring threads (and
+neighbouring blocks, at chunk boundaries) read the *same* padded cells, so
+the windows genuinely overlap — the shared/unique distinction is what makes
+this safe, and the race detector sees the overlapping read sets.  Writes go
+to the distinct per-thread cells of ``out``.
+"""
+
+from __future__ import annotations
+
+from repro.descend.builder import *
+from repro.descend.ast import terms as T
+
+
+def _window(offset: int, n: int):
+    """The ``n``-element window of the padded input starting at ``offset``."""
+    place = var("inp")
+    if offset > 0:
+        place = place.view("split", offset).snd
+    return place.view("split", n).fst
+
+
+def _window_elem(offset: int, n: int, block_size: int):
+    """Per-thread element of one shifted window."""
+    return _window(offset, n).view("group", block_size).select("block").select("thread")
+
+
+def build_stencil_kernel(n: int, block_size: int) -> T.FunDef:
+    """``out[i]`` = mean of the three padded cells ``inp[i..i+2]``."""
+    if n % block_size != 0:
+        raise ValueError("n must be divisible by block_size")
+    num_blocks = n // block_size
+    out_cell = var("out").view("group", block_size).select("block").select("thread")
+    return fun(
+        "stencil3",
+        [
+            param("inp", shared_ref(GPU_GLOBAL, array(F64, n + 2))),
+            param("out", uniq_ref(GPU_GLOBAL, array(F64, n))),
+        ],
+        gpu_grid_spec("grid", dim_x(num_blocks), dim_x(block_size)),
+        body(
+            sched(
+                "X",
+                "block",
+                "grid",
+                sched(
+                    "X",
+                    "thread",
+                    "block",
+                    assign(
+                        out_cell,
+                        mul(
+                            add(
+                                add(
+                                    read(_window_elem(0, n, block_size)),
+                                    read(_window_elem(1, n, block_size)),
+                                ),
+                                read(_window_elem(2, n, block_size)),
+                            ),
+                            lit_f64(1.0 / 3.0),
+                        ),
+                    ),
+                ),
+            )
+        ),
+    )
+
+
+def build_stencil_program(n: int = 256, block_size: int = 32) -> T.Program:
+    return program(build_stencil_kernel(n, block_size))

@@ -1,0 +1,89 @@
+"""The fuzz corpus: seed programs and persisted minimized repros.
+
+Two halves:
+
+* **Seeds** — small instances of every real workload family, printed to
+  canonical ``.descend`` source.  Every fuzz run checks the seeds first:
+  they pin the harness against known-good programs (and known-rejected ones,
+  for diagnostic stability) before any random case runs.
+
+* **Repros** — when a property violation survives shrinking, the minimized
+  source plus its provenance (seed, index, property, mutation) persists as a
+  ``fuzz-repro`` artifact in the content-addressed store.  The digest is
+  content-derived (sha256 over the canonical JSON of the identifying
+  fields), so re-finding the same minimized failure re-writes the same
+  object — runs are idempotent — and ``descendc fuzz --replay`` re-checks
+  every persisted repro against the current compiler.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.descend.ast.printer import print_program
+
+#: Artifact kind of a persisted minimized repro.
+REPRO_KIND = "fuzz-repro"
+
+
+def seed_sources() -> Dict[str, str]:
+    """Small, fast instances of every workload family, as printed source."""
+    from repro.descend_programs import histogram, reduce, scan, stencil, transpose, vector
+
+    builders = {
+        "scale_vec": lambda: vector.build_scale_program(n=64, block_size=16),
+        "saxpy": lambda: vector.build_saxpy_program(n=64, block_size=16),
+        "reduce": lambda: reduce.build_reduce_program(n=64, block_size=16),
+        "scan": lambda: scan.build_scan_program(n=64, block_size=8, elems_per_thread=2),
+        "transpose": lambda: transpose.build_transpose_program(n=16, tile=4, rows=2),
+        "histogram": lambda: histogram.build_histogram_program(n=64, bins=8, num_blocks=2),
+        "stencil": lambda: stencil.build_stencil_program(n=64, block_size=16),
+    }
+    return {name: print_program(build()) for name, build in sorted(builders.items())}
+
+
+def rejected_seed_sources() -> Dict[str, str]:
+    """The Section 2 ill-typed programs — diagnostic-stability seeds."""
+    from repro.descend_programs.unsafe import UNSAFE_PROGRAMS
+
+    return {
+        name: print_program(build())
+        for name, (build, _code) in sorted(UNSAFE_PROGRAMS.items())
+    }
+
+
+# ---------------------------------------------------------------------------
+# Repro artifacts
+# ---------------------------------------------------------------------------
+
+
+def repro_digest(repro: Dict[str, object]) -> str:
+    """Content digest of one repro (identifying fields only, canonical JSON)."""
+    identity = {
+        "seed": repro.get("seed"),
+        "index": repro.get("index"),
+        "property": repro.get("property"),
+        "source": repro.get("source"),
+    }
+    blob = json.dumps(identity, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(b"fuzz-repro\0" + blob).hexdigest()
+
+
+def persist_repro(store, repro: Dict[str, object]) -> Optional[str]:
+    """Write one repro to the store; returns its digest (None if not stored)."""
+    digest = repro_digest(repro)
+    if store is None:
+        return None
+    return digest if store.store(digest, dict(repro), kind=REPRO_KIND) else None
+
+
+def load_repros(store) -> List[Tuple[str, Dict[str, object]]]:
+    """Every well-formed persisted repro, sorted by digest (deterministic)."""
+    repros: List[Tuple[str, Dict[str, object]]] = []
+    for digest in store.digests(kind=REPRO_KIND):
+        value = store.load(digest)
+        if isinstance(value, dict) and isinstance(value.get("source"), str):
+            repros.append((digest, value))
+    return repros

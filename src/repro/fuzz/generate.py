@@ -1,0 +1,472 @@
+"""Grammar-directed random Descend programs (and their ill-typed mutants).
+
+Programs are described by a :class:`KernelSpec` — a frozen, picklable value
+made of nested tuples — and realized into a real
+:class:`~repro.descend.ast.terms.Program` by :func:`build_program`.  Keeping
+the *spec* (not the AST) as the unit of generation buys three things:
+
+* **Determinism.**  :func:`random_spec` draws every choice from one
+  ``random.Random`` seeded with a stable string, so a (seed, index) pair
+  names exactly one program forever.
+* **Shrinkability.**  The shrinker edits specs structurally (drop a phase,
+  drop a statement, simplify an expression, halve a dimension) and rebuilds;
+  it never has to pattern-match ASTs.
+* **Intent.**  Specs are correct by construction: every output array is
+  written through exactly one (bijective) view chain, shared-memory
+  cross-thread reads only happen behind a barrier, and syncs stay at
+  non-divergent block level — the shapes the type checker is supposed to
+  accept.  The :data:`MUTATIONS` then perturb exactly one of those
+  invariants, producing the shapes it is supposed to reject.
+
+The grammar deliberately stays inside the printable/parsable subset of the
+surface syntax (nat-only indices), so every generated program round-trips
+through ``print_program`` → ``parse_program`` — the harness checks that too.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.descend.builder import (
+    F64,
+    GPU_GLOBAL,
+    add,
+    alloc_shared,
+    array,
+    assign,
+    block,
+    body,
+    dim_x,
+    eq,
+    for_nat,
+    fun,
+    ge,
+    gpu_grid_spec,
+    gt,
+    if_,
+    le,
+    let,
+    lit_f64,
+    lt,
+    mul,
+    ne,
+    param,
+    program,
+    read,
+    sched,
+    shared_ref,
+    split_exec,
+    sub,
+    sync,
+    uniq_borrow,
+    uniq_ref,
+    var,
+)
+from repro.descend.ast import terms as T
+
+#: Bijective per-thread element chains an output array may be written through.
+#: ``transpose`` is only valid when ``ept == 1`` (it needs the flat
+#: ``num_blocks x block_size`` shape).
+WRITE_CHAINS = ("direct", "rev_chunk", "rev_all", "transpose")
+
+#: The spec-level perturbations of mutation mode, each breaking exactly one
+#: well-typedness invariant (the comment names the rejection it aims for).
+MUTATIONS = (
+    "drop_sync",        # remove every barrier               -> E0001 (conflict)
+    "rev_race",         # same-phase read via a second chain -> E0001 (conflict)
+    "unnarrowed_borrow",  # uniq borrow of a whole output    -> E0006 (narrowing)
+    "skip_block_select",  # select thread without block      -> E0006 (narrowing)
+    "sync_in_split",    # barrier inside a split branch      -> E0002 (barrier)
+    "bad_view_dim",     # group size that does not divide n  -> view size error
+)
+
+_BIN_OPS = {"add": add, "sub": sub, "mul": mul}
+_CMP_OPS = {"lt": lt, "le": le, "gt": gt, "ge": ge, "eq": eq, "ne": ne}
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One random kernel program, as plain data.
+
+    ``phases`` is a tuple of block-level phase tuples:
+
+    * ``("phase", stmts)`` — one ``sched`` over the block's threads,
+    * ``("sync",)`` — a block-level barrier,
+    * ``("single", a, b)`` — a single-thread pass (``split`` at 1) mapping
+      ``tmp[i] = tmp[i] * a + b`` over the shared buffer,
+    * ``("bloop", k, stmts)`` — a block-level ``for k`` whose body is a
+      barrier followed by one thread phase.
+
+    Thread statements inside a phase:
+
+    * ``("let", name, expr)`` — bind a register,
+    * ``("if_reg", cond, name, expr)`` — divergent register update,
+    * ``("wout", k, expr)`` — write output ``k`` through its designated chain,
+    * ``("wout_if", k, cond, expr)`` — the same behind a divergent ``if``,
+    * ``("wtmp", expr)`` — write the thread's shared-memory slot.
+
+    Expressions are nested tuples: ``("lit", v)``, ``("in", i, rchain)``,
+    ``("tmp", tchain)``, ``("reg", name)``, ``(op, a, b)`` with
+    ``op in {add, sub, mul}``; conditions are ``(cmp, a, b)``.
+    """
+
+    num_blocks: int
+    block_size: int
+    ept: int
+    num_inputs: int
+    out_chains: Tuple[str, ...]
+    use_tmp: bool
+    phases: Tuple[tuple, ...]
+    mutation: str = ""
+
+    @property
+    def n(self) -> int:
+        return self.num_blocks * self.block_size * self.ept
+
+    @property
+    def chunk(self) -> int:
+        return self.block_size * self.ept
+
+
+# ---------------------------------------------------------------------------
+# Places
+# ---------------------------------------------------------------------------
+
+
+def _element_place(root: str, chain: str, spec: KernelSpec):
+    """The per-thread element of ``root`` through one bijective chain.
+
+    When ``ept > 1`` the place indexes with the nat variable ``j`` — the
+    enclosing phase wraps its statements in ``for j in 0..ept``.
+    """
+    base = var(root)
+    if chain == "transpose":
+        return (
+            base.view("group", spec.num_blocks)
+            .view("transpose")
+            .select("block")
+            .select("thread")
+        )
+    if chain == "rev_all":
+        base = base.view("rev")
+    place = base.view("group", spec.chunk).select("block")
+    if chain == "rev_chunk":
+        place = place.view("rev")
+    if spec.ept == 1:
+        return place.select("thread")
+    return place.view("group", spec.ept).select("thread").idx("j")
+
+
+def _read_place(root: str, rchain: tuple, spec: KernelSpec):
+    """A (possibly overlapping) read place of a shared input array."""
+    kind = rchain[0]
+    if kind == "chain":
+        return _element_place(root, rchain[1], spec)
+    if kind == "bcast":
+        # every thread of the block reads the same chunk element
+        return var(root).view("group", spec.chunk).select("block").idx(rchain[1] % spec.chunk)
+    if kind == "flat":
+        # every thread of the grid reads the same array element
+        return var(root).idx(rchain[1] % spec.n)
+    raise ValueError(f"unknown read chain {rchain!r}")
+
+
+def _tmp_place(tchain: tuple, spec: KernelSpec):
+    """A read place of the block's shared buffer."""
+    kind = tchain[0]
+    if kind == "t_self":
+        return var("tmp").select("thread")
+    if kind == "t_rev":
+        return var("tmp").view("rev").select("thread")
+    if kind == "t_idx":
+        return var("tmp").idx(tchain[1] % spec.block_size)
+    raise ValueError(f"unknown tmp chain {tchain!r}")
+
+
+def _out_place(k: int, spec: KernelSpec):
+    """The designated write place of output ``k`` (mutations hook in here)."""
+    root = f"out{k}"
+    if k == 0 and spec.mutation == "skip_block_select":
+        return var(root).view("group", spec.block_size).select("thread")
+    if k == 0 and spec.mutation == "bad_view_dim":
+        return var(root).view("group", spec.chunk + 1).select("block").select("thread")
+    return _element_place(root, spec.out_chains[k], spec)
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+def _expr_term(expr: tuple, spec: KernelSpec):
+    kind = expr[0]
+    if kind == "lit":
+        return lit_f64(expr[1])
+    if kind == "in":
+        return read(_read_place(f"in{expr[1] % spec.num_inputs}", expr[2], spec))
+    if kind == "tmp":
+        return read(_tmp_place(expr[1], spec))
+    if kind == "reg":
+        return read(var(expr[1]))
+    return _BIN_OPS[kind](_expr_term(expr[1], spec), _expr_term(expr[2], spec))
+
+
+def _cond_term(cond: tuple, spec: KernelSpec):
+    return _CMP_OPS[cond[0]](_expr_term(cond[1], spec), _expr_term(cond[2], spec))
+
+
+def _thread_stmt(stmt: tuple, spec: KernelSpec):
+    kind = stmt[0]
+    if kind == "let":
+        return let(stmt[1], _expr_term(stmt[2], spec))
+    if kind == "if_reg":
+        return if_(
+            _cond_term(stmt[1], spec),
+            block(assign(var(stmt[2]), _expr_term(stmt[3], spec))),
+        )
+    if kind == "wout":
+        value = _expr_term(stmt[2], spec)
+        if stmt[1] == 0 and spec.mutation == "rev_race":
+            other = "rev_chunk" if spec.out_chains[0] != "rev_chunk" else "direct"
+            value = read(_element_place("out0", other, spec))
+        return assign(_out_place(stmt[1], spec), value)
+    if kind == "wout_if":
+        return if_(
+            _cond_term(stmt[1], spec),
+            block(assign(_out_place(stmt[2], spec), _expr_term(stmt[3], spec))),
+        )
+    if kind == "wtmp":
+        return assign(var("tmp").select("thread"), _expr_term(stmt[1], spec))
+    raise ValueError(f"unknown thread statement {stmt!r}")
+
+
+def _thread_phase(stmts: tuple, spec: KernelSpec):
+    """One ``sched`` over the block's threads (per-element loop when ept > 1)."""
+    built = [_thread_stmt(s, spec) for s in stmts]
+    if spec.ept > 1:
+        return sched("X", "thread", "block", for_nat("j", 0, spec.ept, *built))
+    return sched("X", "thread", "block", *built)
+
+
+def _single_pass(a: float, b: float, spec: KernelSpec):
+    """``split`` at 1: one thread maps ``tmp[i] = tmp[i] * a + b`` serially."""
+    loop = for_nat(
+        "i",
+        0,
+        spec.block_size,
+        assign(
+            var("tmp").idx("i"),
+            add(mul(read(var("tmp").idx("i")), lit_f64(a)), lit_f64(b)),
+        ),
+    )
+    return split_exec(
+        "X",
+        "block",
+        1,
+        ("first", block(sched("X", "t", "first", loop))),
+        ("rest", block()),
+    )
+
+
+def build_program(spec: KernelSpec) -> T.Program:
+    """Realize a spec into a Descend program (applying its mutation, if any)."""
+    drop_sync = spec.mutation == "drop_sync"
+    stmts = []
+    if spec.use_tmp:
+        stmts.append(let("tmp", alloc_shared(array(F64, spec.block_size))))
+    if spec.mutation == "unnarrowed_borrow":
+        stmts.append(let("bad_borrow", uniq_borrow(var("out0").deref())))
+    for phase in spec.phases:
+        kind = phase[0]
+        if kind == "sync":
+            if not drop_sync:
+                stmts.append(sync())
+        elif kind == "phase":
+            stmts.append(_thread_phase(phase[1], spec))
+        elif kind == "single":
+            stmts.append(_single_pass(phase[1], phase[2], spec))
+        elif kind == "bloop":
+            inner = [] if drop_sync else [sync()]
+            inner.append(_thread_phase(phase[2], spec))
+            stmts.append(for_nat("k", 0, phase[1], *inner))
+        else:
+            raise ValueError(f"unknown phase {phase!r}")
+    if spec.mutation == "sync_in_split":
+        stmts.append(
+            split_exec(
+                "X",
+                "block",
+                max(1, spec.block_size // 2),
+                ("first", block(sync())),
+                ("rest", block()),
+            )
+        )
+    params = [
+        param(f"in{i}", shared_ref(GPU_GLOBAL, array(F64, spec.n)))
+        for i in range(spec.num_inputs)
+    ]
+    params.extend(
+        param(f"out{k}", uniq_ref(GPU_GLOBAL, array(F64, spec.n)))
+        for k in range(len(spec.out_chains))
+    )
+    kernel = fun(
+        "fuzzed",
+        params,
+        gpu_grid_spec("grid", dim_x(spec.num_blocks), dim_x(spec.block_size)),
+        body(sched("X", "block", "grid", *stmts)),
+    )
+    return program(kernel)
+
+
+# ---------------------------------------------------------------------------
+# Random generation
+# ---------------------------------------------------------------------------
+
+
+def _random_lit(rng: random.Random) -> tuple:
+    # quarter-grid values: exactly representable, and comparisons against
+    # the (also quarter-grid) input data genuinely go both ways.  Nonnegative
+    # only: a negative literal prints as `-x`, which parses back as a unary
+    # negation and re-prints parenthesized — not a printing fixpoint.
+    return ("lit", rng.randrange(0, 9) * 0.25)
+
+
+def _random_read(rng: random.Random, spec_inputs: int, ept: int) -> tuple:
+    i = rng.randrange(spec_inputs)
+    roll = rng.random()
+    if roll < 0.55:
+        chains = [c for c in WRITE_CHAINS if c != "transpose" or ept == 1]
+        return ("in", i, ("chain", rng.choice(chains)))
+    if roll < 0.8:
+        return ("in", i, ("bcast", rng.randrange(64)))
+    return ("in", i, ("flat", rng.randrange(1024)))
+
+
+def _random_expr(
+    rng: random.Random,
+    num_inputs: int,
+    ept: int,
+    depth: int,
+    regs: Tuple[str, ...] = (),
+    allow_tmp: bool = False,
+) -> tuple:
+    if depth <= 0 or rng.random() < 0.3:
+        roll = rng.random()
+        if roll < 0.45:
+            return _random_read(rng, num_inputs, ept)
+        if allow_tmp and roll < 0.65:
+            tchains = [("t_self",), ("t_rev",), ("t_idx", rng.randrange(64))]
+            return ("tmp", rng.choice(tchains))
+        if regs and roll < 0.8:
+            return ("reg", rng.choice(regs))
+        return _random_lit(rng)
+    op = rng.choice(("add", "sub", "mul"))
+    return (
+        op,
+        _random_expr(rng, num_inputs, ept, depth - 1, regs, allow_tmp),
+        _random_expr(rng, num_inputs, ept, depth - 1, regs, allow_tmp),
+    )
+
+
+def _random_cond(
+    rng: random.Random,
+    num_inputs: int,
+    ept: int,
+    regs: Tuple[str, ...],
+    allow_tmp: bool,
+) -> tuple:
+    cmp = rng.choice(tuple(_CMP_OPS))
+    return (
+        cmp,
+        _random_expr(rng, num_inputs, ept, 1, regs, allow_tmp),
+        _random_expr(rng, num_inputs, ept, 1, regs, allow_tmp),
+    )
+
+
+def random_spec(rng: random.Random, max_dims: int = 16, mutate: bool = False) -> KernelSpec:
+    """Draw one spec.  With ``mutate`` the spec carries one random mutation."""
+    num_blocks = rng.choice((1, 2, 4))
+    sizes = [d for d in (2, 4, 8, 16, 32) if d <= max(2, max_dims)]
+    block_size = rng.choice(sizes)
+    ept = rng.choice((1, 1, 1, 2, 4))
+    num_inputs = rng.randint(1, 2)
+    num_outputs = rng.randint(1, 2)
+    use_tmp = rng.random() < 0.5
+    chains = [c for c in WRITE_CHAINS if c != "transpose" or ept == 1]
+    out_chains = tuple(rng.choice(chains) for _ in range(num_outputs))
+
+    phases = []
+    if use_tmp:
+        phases.append(
+            ("phase", (("wtmp", _random_expr(rng, num_inputs, ept, rng.randint(0, 2))),))
+        )
+        phases.append(("sync",))
+        if rng.random() < 0.3:
+            phases.append(
+                ("single", rng.randrange(0, 5) * 0.25, rng.randrange(0, 5) * 0.25)
+            )
+            phases.append(("sync",))
+
+    for k in range(num_outputs):
+        regs: Tuple[str, ...] = ()
+        stmts = []
+        if rng.random() < 0.6:
+            name = f"r{k}"
+            stmts.append(
+                ("let", name, _random_expr(rng, num_inputs, ept, 1, (), use_tmp))
+            )
+            regs = (name,)
+            if rng.random() < 0.5:
+                stmts.append(
+                    (
+                        "if_reg",
+                        _random_cond(rng, num_inputs, ept, regs, use_tmp),
+                        name,
+                        _random_expr(rng, num_inputs, ept, 1, regs, use_tmp),
+                    )
+                )
+        value = _random_expr(rng, num_inputs, ept, rng.randint(1, 3), regs, use_tmp)
+        if rng.random() < 0.25:
+            stmts.append(
+                ("wout_if", _random_cond(rng, num_inputs, ept, regs, use_tmp), k, value)
+            )
+            # the divergent write leaves untouched elements; also write a
+            # baseline first so the output is fully initialized
+            stmts.insert(len(stmts) - 1, ("wout", k, _random_lit(rng)))
+        else:
+            stmts.append(("wout", k, value))
+        if rng.random() < 0.15 and not use_tmp:
+            phases.append(("bloop", rng.randint(1, 3), tuple(stmts)))
+        else:
+            phases.append(("phase", tuple(stmts)))
+
+    spec = KernelSpec(
+        num_blocks=num_blocks,
+        block_size=block_size,
+        ept=ept,
+        num_inputs=num_inputs,
+        out_chains=out_chains,
+        use_tmp=use_tmp,
+        phases=tuple(phases),
+        mutation="",
+    )
+    if mutate:
+        applicable = [m for m in MUTATIONS if m != "drop_sync" or use_tmp]
+        spec = replace(spec, mutation=rng.choice(applicable))
+    return spec
+
+
+def case_rng(seed: int, index: int) -> random.Random:
+    """The PRNG of one (seed, index) case — a stable string seed, so the
+    stream is identical across processes and platforms (the PR 7 fault
+    harness established this discipline)."""
+    return random.Random(f"fuzz:{seed}:{index}")
+
+
+def spec_for_case(seed: int, index: int, max_dims: int = 16) -> KernelSpec:
+    """The spec of one (seed, index) case; every 4th case is a mutant."""
+    rng = case_rng(seed, index)
+    mutate = rng.random() < 0.25
+    return random_spec(rng, max_dims=max_dims, mutate=mutate)

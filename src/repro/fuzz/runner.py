@@ -1,0 +1,151 @@
+"""The fuzz campaign driver: seeds → random cases → shrink → persist.
+
+:func:`run_fuzz` is what ``descendc fuzz`` and the CI smoke job execute; it
+returns one JSON-safe report dict whose contents are a pure function of
+``(seed, count, max_dims)`` — the determinism acceptance criterion is that
+two runs of the same arguments produce byte-identical reports (modulo the
+store digests, which are themselves content-derived and thus also stable).
+
+:func:`run_replay` re-checks every persisted ``fuzz-repro`` artifact against
+the current compiler and reports which still reproduce.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.fuzz.corpus import (
+    load_repros,
+    persist_repro,
+    rejected_seed_sources,
+    seed_sources,
+)
+from repro.fuzz.generate import build_program, spec_for_case
+from repro.fuzz.harness import CaseResult, check_source, check_spec
+from repro.fuzz.shrink import shrink_spec
+from repro.descend.ast.printer import print_program
+
+
+def run_fuzz(
+    seed: int = 0,
+    count: int = 100,
+    max_dims: int = 16,
+    store=None,
+    shrink: bool = True,
+    include_seeds: bool = True,
+    check: Callable[..., CaseResult] = check_spec,
+    progress: Optional[Callable[[int, CaseResult], None]] = None,
+) -> Dict[str, object]:
+    """Run one deterministic fuzz campaign; returns the report dict."""
+    report: Dict[str, object] = {
+        "seed": seed,
+        "count": count,
+        "max_dims": max_dims,
+        "cases": 0,
+        "well_typed": 0,
+        "rejected": 0,
+        "mutants": 0,
+        "mutants_rejected": 0,
+        "error_codes": {},
+        "fallbacks": {},
+        "seed_programs": {},
+        "violations": [],
+        "repros": [],
+    }
+    error_codes: Dict[str, int] = report["error_codes"]  # type: ignore[assignment]
+    fallbacks: Dict[str, int] = report["fallbacks"]  # type: ignore[assignment]
+
+    if include_seeds:
+        seeds: Dict[str, object] = report["seed_programs"]  # type: ignore[assignment]
+        for name, source in seed_sources().items():
+            result = check_source(source, index=0)
+            seeds[name] = {"verdict": result.verdict, "ok": result.ok}
+            _note_violations(report, f"seed:{name}", result)
+        for name, source in rejected_seed_sources().items():
+            result = check_source(source, index=0)
+            seeds[f"unsafe:{name}"] = {
+                "verdict": result.verdict,
+                "code": result.error_code,
+                "ok": result.ok,
+            }
+            _note_violations(report, f"seed:unsafe:{name}", result)
+
+    for index in range(count):
+        spec = spec_for_case(seed, index, max_dims=max_dims)
+        result = check(spec, index)
+        report["cases"] += 1  # type: ignore[operator]
+        if spec.mutation:
+            report["mutants"] += 1  # type: ignore[operator]
+        if result.verdict == "well-typed":
+            report["well_typed"] += 1  # type: ignore[operator]
+        else:
+            report["rejected"] += 1  # type: ignore[operator]
+            if spec.mutation:
+                report["mutants_rejected"] += 1  # type: ignore[operator]
+            code = result.error_code or "<uncoded>"
+            error_codes[code] = error_codes.get(code, 0) + 1
+        for key in result.fallbacks:
+            fallbacks[key] = fallbacks.get(key, 0) + 1
+        if result.violations:
+            props = result.failing_properties()
+            shrunk = (
+                shrink_spec(spec, props, index, check) if shrink else spec
+            )
+            shrunk_source = print_program(build_program(shrunk))
+            repro = {
+                "seed": seed,
+                "index": index,
+                "property": props[0],
+                "properties": list(props),
+                "mutation": spec.mutation,
+                "source": shrunk_source,
+                "detail": result.violations[0].detail,
+            }
+            digest = persist_repro(store, repro)
+            report["repros"].append(  # type: ignore[union-attr]
+                {
+                    "index": index,
+                    "property": props[0],
+                    "digest": digest or "",
+                    "source": shrunk_source,
+                }
+            )
+            _note_violations(report, str(index), result)
+        if progress is not None:
+            progress(index, result)
+
+    report["ok"] = not report["violations"]
+    return report
+
+
+def _note_violations(report: Dict[str, object], case: str, result: CaseResult) -> None:
+    for violation in result.violations:
+        report["violations"].append(  # type: ignore[union-attr]
+            {"case": case, "property": violation.prop, "detail": violation.detail}
+        )
+
+
+def run_replay(
+    store, check: Callable[..., CaseResult] = check_source
+) -> Dict[str, object]:
+    """Re-check every persisted repro; reports which still reproduce."""
+    entries = []
+    for digest, repro in load_repros(store):
+        index = repro.get("index")
+        result = check(repro["source"], index if isinstance(index, int) else 0)
+        entries.append(
+            {
+                "digest": digest,
+                "index": repro.get("index"),
+                "property": repro.get("property", ""),
+                "mutation": repro.get("mutation", ""),
+                "verdict": result.verdict,
+                "reproduced": not result.ok,
+                "failing": list(result.failing_properties()),
+            }
+        )
+    return {
+        "repros": entries,
+        "checked": len(entries),
+        "reproduced": sum(1 for e in entries if e["reproduced"]),
+    }

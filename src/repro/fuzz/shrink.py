@@ -1,0 +1,112 @@
+"""Greedy spec-level minimization of failing fuzz cases.
+
+The shrinker never touches ASTs: it edits the :class:`KernelSpec` (drop a
+phase, drop a statement, halve a dimension, replace a binary expression by
+one of its operands) and keeps an edit only if the *same property* still
+fails on the rebuilt program.  Candidate order is deterministic, so the
+minimized repro of a (seed, index) case is itself reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, Tuple
+
+from repro.fuzz.generate import KernelSpec
+
+_BIN_HEADS = ("add", "sub", "mul")
+
+#: Upper bound on candidate evaluations per shrink: every evaluation compiles
+#: and runs the program, so runaway shrinks must stay bounded.
+MAX_STEPS = 150
+
+
+def _binop_positions(node: object, path: Tuple[int, ...] = ()) -> Iterator[Tuple[Tuple[int, ...], tuple]]:
+    """Every ``(path, subtree)`` whose head is a binary arithmetic op."""
+    if not isinstance(node, tuple):
+        return
+    if node and node[0] in _BIN_HEADS:
+        yield path, node
+    for i, child in enumerate(node):
+        yield from _binop_positions(child, path + (i,))
+
+
+def _set_at(node: tuple, path: Tuple[int, ...], value: object) -> tuple:
+    if not path:
+        return value  # type: ignore[return-value]
+    i = path[0]
+    return node[:i] + (_set_at(node[i], path[1:], value),) + node[i + 1 :]
+
+
+def _candidates(spec: KernelSpec) -> Iterator[KernelSpec]:
+    """Strictly-simpler variants of ``spec``, biggest reductions first."""
+    # dimensions
+    if spec.ept > 1:
+        yield replace(spec, ept=1)
+    if spec.block_size > 2:
+        yield replace(spec, block_size=spec.block_size // 2)
+    if spec.num_blocks > 1:
+        yield replace(spec, num_blocks=max(1, spec.num_blocks // 2))
+    if spec.num_inputs > 1:
+        yield replace(spec, num_inputs=1)
+    # drop whole phases
+    for i in range(len(spec.phases)):
+        yield replace(spec, phases=spec.phases[:i] + spec.phases[i + 1 :])
+    # drop single statements inside phases
+    for i, phase in enumerate(spec.phases):
+        if phase[0] not in ("phase", "bloop"):
+            continue
+        stmts_index = 1 if phase[0] == "phase" else 2
+        stmts = phase[stmts_index]
+        if len(stmts) <= 1:
+            continue
+        for j in range(len(stmts)):
+            new_phase = _set_at(phase, (stmts_index,), stmts[:j] + stmts[j + 1 :])
+            yield replace(
+                spec, phases=spec.phases[:i] + (new_phase,) + spec.phases[i + 1 :]
+            )
+    # replace binary expressions by their operands
+    for i, phase in enumerate(spec.phases):
+        for path, node in _binop_positions(phase):
+            for child in (node[1], node[2]):
+                new_phase = _set_at(phase, path, child)
+                yield replace(
+                    spec, phases=spec.phases[:i] + (new_phase,) + spec.phases[i + 1 :]
+                )
+
+
+def shrink_spec(
+    spec: KernelSpec,
+    properties: Tuple[str, ...],
+    index: int,
+    check: Callable[[KernelSpec, int], object],
+    max_steps: int = MAX_STEPS,
+) -> KernelSpec:
+    """The smallest spec (greedily) on which one of ``properties`` still fails.
+
+    ``check`` is the harness entry point (``check_spec``-shaped); a candidate
+    that raises is treated as not reproducing and discarded.
+    """
+    target = set(properties)
+
+    def still_fails(candidate: KernelSpec) -> bool:
+        try:
+            result = check(candidate, index)
+        except Exception:
+            return False
+        return bool(target & set(result.failing_properties()))
+
+    current = spec
+    steps = 0
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        for candidate in _candidates(current):
+            steps += 1
+            if steps > max_steps:
+                break
+            if still_fails(candidate):
+                current = candidate
+                improved = True
+                break
+    return current

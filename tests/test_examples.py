@@ -15,6 +15,8 @@ EXAMPLES = [
     "quickstart.py",
     "safety_errors.py",
     "heterogeneous_host.py",
+    "histogram_bins.py",
+    "stencil_halo.py",
 ]
 
 

@@ -679,3 +679,67 @@ class TestPlanSourcePersistence:
         )
         assert warm_src is not None
         assert warm.plan_source_compiles == 1  # recomputed after eviction
+
+
+class TestFuzzReproKind:
+    """The `fuzz-repro` artifact kind: listing, stats breakdown, gc."""
+
+    def _persist_repros(self, store, count=3):
+        from repro.fuzz.corpus import persist_repro
+
+        digests = []
+        for index in range(count):
+            digests.append(
+                persist_repro(
+                    store,
+                    {
+                        "seed": 11,
+                        "index": index,
+                        "property": "engine-parity",
+                        "mutation": "",
+                        "source": f"fn fuzzed_{index}() {{}}",
+                        "detail": "synthetic",
+                    },
+                )
+            )
+        return digests
+
+    def test_digests_lists_and_filters_by_kind(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        repro_digests = self._persist_repros(store, count=2)
+        store.store("aa" * 32, {"x": 1}, kind="program")
+        assert store.digests() == tuple(sorted(repro_digests + ["aa" * 32]))
+        assert store.digests(kind="fuzz-repro") == tuple(sorted(repro_digests))
+        assert store.digests(kind="program") == ("aa" * 32,)
+        assert store.digests(kind="nope") == ()
+
+    def test_persisting_the_same_repro_is_idempotent(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        first = self._persist_repros(store, count=2)
+        second = self._persist_repros(store, count=2)
+        assert first == second  # content-derived digests: same repro, same blob
+        assert store.stats()["kinds"]["fuzz-repro"]["count"] == 2
+
+    def test_stats_break_down_the_fuzz_repro_kind(self, tmp_path, capsys):
+        store_root = tmp_path / "store"
+        self._persist_repros(ArtifactStore(store_root), count=3)
+        assert cli_main(["cache", "stats", "--json", "--store", str(store_root)]) == 0
+        kinds = json.loads(capsys.readouterr().out)["kinds"]
+        assert kinds["fuzz-repro"]["count"] == 3
+        assert kinds["fuzz-repro"]["bytes"] > 0
+        assert cli_main(["cache", "stats", "--store", str(store_root)]) == 0
+        out = capsys.readouterr().out
+        assert any(
+            line.strip().startswith("fuzz-repro") and "blobs" in line
+            for line in out.splitlines()
+        ), out
+
+    def test_gc_evicts_fuzz_repros_under_lru(self, tmp_path):
+        from repro.fuzz.corpus import load_repros
+
+        store = ArtifactStore(tmp_path / "store")
+        self._persist_repros(store, count=3)
+        assert len(load_repros(store)) == 3
+        store.gc(max_bytes=0)
+        assert load_repros(store) == []  # fuzz-repros evict like any artifact
+        assert store.digests(kind="fuzz-repro") == ()

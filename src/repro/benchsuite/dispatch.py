@@ -1,0 +1,510 @@
+"""Distributed sweep dispatch: pull-based work stealing over TCP.
+
+:func:`repro.benchsuite.sweep.run_cells` shards bench cells across local
+``spawn``-ed pool workers; this module is its multi-machine sibling.  A
+:class:`SweepCoordinator` listens on a TCP port and hands cells to any
+worker that connects — locally spawned subprocesses
+(:func:`dispatch_cells` starts ``jobs`` of them) or remote ones joined by
+hand via ``descendc sweep-worker --connect HOST:PORT``.  All workers warm
+from one shared artifact store, normally the daemon's HTTP store endpoint
+(``--store-url``), so the warm-store zero-compute property becomes
+fleet-wide.
+
+Design points:
+
+* **Pull, don't shard.**  Workers *request* the next cell when idle
+  (``{"op": "next"}``) instead of receiving a static slice up front —
+  work stealing by construction, so a slow host finishes fewer cells
+  instead of straggling the whole sweep.
+* **Same wire idiom as the daemon.**  Frames are the newline-delimited
+  key-sorted JSON of API schema v1 (:func:`repro.descend.api.encode_frame`),
+  and rows travel as their :meth:`~repro.benchsuite.enginebench.EngineBenchRow.as_dict`
+  payload, rebuilt with :meth:`~repro.benchsuite.enginebench.EngineBenchRow.from_dict`
+  — constructor fields only, so a dispatched row is value-identical to a
+  serial one (the serial sweep stays the parity oracle; only the timing
+  and ``host`` columns differ).
+* **PR 7 retry machinery, verbatim semantics.**  Every assignment carries
+  the cell's attempt count as its fault ``epoch``; the worker installs it
+  in ``REPRO_FAULTS_EPOCH`` before measuring, so "crash in round 0, heal
+  in round 1" chaos plans govern dispatched workers exactly like pool
+  workers.  A worker that dies mid-cell (connection EOF with an
+  assignment outstanding) fails that attempt; past ``max_attempts`` the
+  sweep aborts with a :class:`BenchmarkError` naming the cell — loud,
+  structured, never a hang.
+* **Fault seam.**  The coordinator's assignment path checks the
+  ``sweep.dispatch`` site: an injected failure drops the worker's
+  connection with the cell assigned, exercising the same requeue path a
+  killed worker takes.
+
+Wire protocol (worker → coordinator, then the reply):
+
+==========================  ================================================
+``{"op": "hello", "host"}``  Join the sweep; answered ``{"op": "welcome"}``.
+``{"op": "next"}``           Ask for work.  Answered ``{"op": "cell",
+                             "cell": {...}, "epoch": N}`` (run it),
+                             ``{"op": "wait", "delay_ms": D}`` (everything
+                             is in flight — poll again), or
+                             ``{"op": "done"}`` (sweep over, exit 0).
+``{"op": "result", "index", "row"|null, "error"|null, "passes", "host"}``
+                             One finished cell; no reply (the worker sends
+                             ``next`` again).
+==========================  ================================================
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import faults
+from repro.descend.api import MAX_FRAME_BYTES, encode_frame
+from repro.errors import BenchmarkError
+
+__all__ = ["SweepCoordinator", "dispatch_cells", "run_worker"]
+
+#: How long an idle worker sleeps when every pending cell is in flight.
+IDLE_POLL_MS = 50
+
+#: How often :func:`dispatch_cells` polls coordinator state and worker
+#: process liveness.
+SUPERVISE_POLL_S = 0.05
+
+
+def _decode_line(line: bytes) -> Dict[str, object]:
+    if len(line) > MAX_FRAME_BYTES:
+        raise ValueError(f"dispatch frame exceeds {MAX_FRAME_BYTES} bytes")
+    frame = json.loads(line.decode("utf-8"))
+    if not isinstance(frame, dict):
+        raise ValueError("dispatch frame must be a JSON object")
+    return frame
+
+
+class SweepCoordinator:
+    """Feeds bench cells to pulling workers; merges rows in sweep order.
+
+    Thread model: one accept thread plus one thread per connected worker.
+    All sweep state (pending cells, in-flight assignments, attempt counts,
+    merged rows) lives behind one lock; the per-worker threads only block
+    on their own sockets.
+    """
+
+    def __init__(
+        self,
+        cells: Sequence[Dict[str, object]],
+        store_url: Optional[str] = None,
+        max_attempts: Optional[int] = None,
+        progress=None,
+        pass_totals: Optional[Dict[str, Dict[str, int]]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        from repro.benchsuite.sweep import default_max_attempts
+
+        self.store_url = store_url
+        self.max_attempts = (
+            max_attempts if max_attempts is not None else default_max_attempts()
+        )
+        self._progress = progress
+        self._pass_totals = pass_totals
+        self._bind = (host, port)
+        self._lock = threading.Lock()
+        self._pending: Dict[int, Dict[str, object]] = {
+            int(cell["index"]): cell for cell in cells  # type: ignore[arg-type]
+        }
+        self._assigned: Dict[int, str] = {}  # index -> worker label
+        self._attempts: Dict[int, int] = {index: 0 for index in self._pending}
+        self._rows: Dict[int, object] = {}
+        self._total = len(self._pending)
+        self._fatal: Optional[str] = None
+        self._finished = threading.Event()
+        if not self._pending:
+            self._finished.set()
+        self._server: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._worker_threads: List[threading.Thread] = []
+        self.workers_seen = 0
+
+    # -- lifecycle --------------------------------------------------------------
+    def start(self) -> "SweepCoordinator":
+        server = socket.create_server(self._bind)
+        server.settimeout(0.2)
+        self._server = server
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="sweep-coordinator", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        assert self._server is not None, "coordinator not started"
+        bound = self._server.getsockname()
+        return bound[0], bound[1]
+
+    def close(self) -> None:
+        self._finished.set()
+        if self._server is not None:
+            with contextlib.suppress(OSError):
+                self._server.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        for thread in self._worker_threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "SweepCoordinator":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    @property
+    def finished(self) -> bool:
+        return self._finished.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._finished.wait(timeout)
+
+    def result(self) -> List[object]:
+        """The merged rows in sweep order; raises on a failed sweep."""
+        if self._fatal is not None:
+            raise BenchmarkError(self._fatal)
+        if len(self._rows) != self._total:
+            raise BenchmarkError(
+                f"sweep dispatch ended with {self._total - len(self._rows)} of "
+                f"{self._total} cells unmeasured"
+            )
+        return [self._rows[index] for index in sorted(self._rows)]
+
+    # -- accept/serve loops -----------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._server is not None
+        while not self._finished.is_set():
+            try:
+                conn, _addr = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            thread = threading.Thread(
+                target=self._serve_worker, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._worker_threads.append(thread)
+
+    def _serve_worker(self, conn: socket.socket) -> None:
+        label = "worker-?"
+        current: Optional[int] = None  # the cell index this worker holds
+        try:
+            with conn, conn.makefile("rb") as reader:
+                while True:
+                    line = reader.readline()
+                    if not line:
+                        break
+                    try:
+                        frame = _decode_line(line)
+                    except ValueError:
+                        break
+                    op = frame.get("op")
+                    if op == "hello":
+                        label = str(frame.get("host") or label)
+                        with self._lock:
+                            self.workers_seen += 1
+                        conn.sendall(encode_frame({"op": "welcome"}))
+                    elif op == "next":
+                        reply, current = self._assign(label)
+                        if reply is None:
+                            # Injected dispatch fault: drop the connection
+                            # with the cell assigned — the worker sees EOF,
+                            # the requeue path sees a dead worker.
+                            break
+                        conn.sendall(encode_frame(reply))
+                        if reply["op"] == "done":
+                            break
+                    elif op == "result":
+                        self._record(frame, label)
+                        current = None
+                    else:
+                        break
+        except (OSError, ValueError):
+            pass
+        finally:
+            with contextlib.suppress(OSError):
+                conn.close()
+            if current is not None:
+                self._cell_failed(current, f"worker {label} connection lost mid-cell")
+
+    def _assign(self, label: str) -> Tuple[Optional[Dict[str, object]], Optional[int]]:
+        """The next reply for an idle worker: a cell, a wait, or done.
+
+        Returns ``(None, index)`` when the ``sweep.dispatch`` fault seam
+        fires — the caller drops the connection with ``index`` assigned.
+        """
+        with self._lock:
+            if self._fatal is not None or self._finished.is_set():
+                return {"op": "done"}, None
+            available = [
+                index for index in sorted(self._pending) if index not in self._assigned
+            ]
+            if not available:
+                if not self._pending:
+                    return {"op": "done"}, None
+                return {"op": "wait", "delay_ms": IDLE_POLL_MS}, None
+            index = available[0]
+            self._assigned[index] = label
+            epoch = self._attempts[index]
+            cell = self._pending[index]
+        rule = faults.check("sweep.dispatch")
+        if rule is not None:
+            return None, index
+        return {"op": "cell", "cell": cell, "epoch": epoch}, index
+
+    def _record(self, frame: Dict[str, object], label: str) -> None:
+        from repro.benchsuite.enginebench import EngineBenchRow
+        from repro.benchsuite.sweep import merge_pass_totals
+
+        raw_index = frame.get("index")
+        if not isinstance(raw_index, int):
+            return
+        index = raw_index
+        error = frame.get("error")
+        if error is not None:
+            self._cell_failed(index, str(error))
+            return
+        row_payload = frame.get("row")
+        if not isinstance(row_payload, dict):
+            self._cell_failed(index, f"worker {label} sent a result without a row")
+            return
+        try:
+            row = EngineBenchRow.from_dict(row_payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            self._cell_failed(index, f"worker {label} sent an unusable row: {exc}")
+            return
+        with self._lock:
+            if index not in self._pending:
+                return  # duplicate result after a requeue race: first one won
+            row.retries = self._attempts[index]
+            self._rows[index] = row
+            del self._pending[index]
+            self._assigned.pop(index, None)
+            passes = frame.get("passes")
+            if self._pass_totals is not None and isinstance(passes, dict):
+                merge_pass_totals(self._pass_totals, passes)
+            done = not self._pending
+            merged = len(self._rows)
+        if self._progress is not None:
+            self._progress(
+                f"[{merged}/{self._total}] merged "
+                f"{row.benchmark}/{row.size} (scale {row.scale}) from {row.host or label}"
+            )
+        if done:
+            self._finished.set()
+
+    def _cell_failed(self, index: int, error: str) -> None:
+        from repro.benchsuite.sweep import _cell_label
+
+        with self._lock:
+            cell = self._pending.get(index)
+            if cell is None:
+                return  # already measured by another worker
+            self._assigned.pop(index, None)
+            self._attempts[index] += 1
+            attempts = self._attempts[index]
+            if attempts >= self.max_attempts:
+                self._fatal = (
+                    f"sweep cell {_cell_label(cell)} failed in a worker "
+                    f"after {attempts} attempt(s): {error}"
+                )
+                self._finished.set()
+                return
+        if self._progress is not None:
+            self._progress(
+                f"retrying {_cell_label(cell)} "
+                f"(attempt {attempts + 1}/{self.max_attempts}): {error}"
+            )
+
+
+# -- the worker side -----------------------------------------------------------
+def run_worker(
+    address: Tuple[str, int],
+    store_url: Optional[str] = None,
+    timeout_s: float = 300.0,
+) -> int:
+    """Join a sweep coordinator and measure cells until it says ``done``.
+
+    The worker installs a fresh store-warmed session (the same
+    ``sweep.spawn`` seam as a pool worker), then loops: pull, set the
+    assignment's fault epoch, measure via the shared
+    :func:`~repro.benchsuite.sweep._run_cell`, report.  Returns a process
+    exit code: ``0`` after ``done``, ``1`` on a lost coordinator.
+    """
+    from repro.benchsuite.enginebench import host_label
+    from repro.benchsuite.sweep import _run_cell, _worker_init
+
+    _worker_init(store_url)
+    label = host_label()
+    try:
+        conn = socket.create_connection(address, timeout=timeout_s)
+    except OSError as exc:
+        print(f"sweep-worker: cannot reach coordinator {address}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        with conn, conn.makefile("rb") as reader:
+            conn.sendall(encode_frame({"op": "hello", "host": label}))
+            welcome = reader.readline()
+            if not welcome:
+                return 1
+            while True:
+                conn.sendall(encode_frame({"op": "next"}))
+                line = reader.readline()
+                if not line:
+                    return 1
+                reply = _decode_line(line)
+                op = reply.get("op")
+                if op == "done":
+                    return 0
+                if op == "wait":
+                    delay = reply.get("delay_ms", IDLE_POLL_MS)
+                    time.sleep(
+                        max(0.0, float(delay)) / 1000.0  # type: ignore[arg-type]
+                        if isinstance(delay, (int, float))
+                        else IDLE_POLL_MS / 1000.0
+                    )
+                    continue
+                if op != "cell":
+                    return 1
+                cell = reply.get("cell")
+                if not isinstance(cell, dict):
+                    return 1
+                # The assignment's epoch is the cell's attempt count: chaos
+                # plans keyed `epoch=0` fail the first try and heal on the
+                # requeue, exactly like the pool orchestrator's rounds.
+                epoch = reply.get("epoch", 0)
+                epoch_before = os.environ.get(faults.ENV_EPOCH)
+                os.environ[faults.ENV_EPOCH] = str(
+                    epoch if isinstance(epoch, int) else 0
+                )
+                try:
+                    index, row, error, passes = _run_cell(cell)
+                finally:
+                    if epoch_before is None:
+                        os.environ.pop(faults.ENV_EPOCH, None)
+                    else:
+                        os.environ[faults.ENV_EPOCH] = epoch_before
+                conn.sendall(
+                    encode_frame(
+                        {
+                            "op": "result",
+                            "index": int(index),  # type: ignore[arg-type]
+                            "row": row.as_dict() if row is not None else None,
+                            "error": error,
+                            "passes": passes,
+                            "host": label,
+                        }
+                    )
+                )
+    except (OSError, ValueError) as exc:
+        print(f"sweep-worker: lost coordinator {address}: {exc}", file=sys.stderr)
+        return 1
+
+
+# -- the orchestrating entry point ---------------------------------------------
+def _spawn_worker(address: Tuple[str, int], store_url: Optional[str]) -> subprocess.Popen:
+    import repro
+
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "sweep-worker",
+        "--connect",
+        f"{address[0]}:{address[1]}",
+    ]
+    if store_url:
+        command += ["--store", store_url]
+    env = os.environ.copy()
+    # The spawned interpreter must resolve the same `repro` package this
+    # process runs, regardless of the caller's cwd or a relative PYTHONPATH.
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing else package_root + os.pathsep + existing
+    )
+    return subprocess.Popen(command, env=env)
+
+
+def dispatch_cells(
+    cells: Sequence[Dict[str, object]],
+    jobs: int,
+    store_url: Optional[str] = None,
+    progress=None,
+    pass_totals: Optional[Dict[str, Dict[str, int]]] = None,
+    max_attempts: Optional[int] = None,
+) -> List[object]:
+    """Run sweep cells through a coordinator plus ``jobs`` local workers.
+
+    The same contract as :func:`repro.benchsuite.sweep.run_cells` — rows in
+    sweep order, ``pass_totals`` merged, :class:`BenchmarkError` when a
+    cell exhausts its attempts — with the cells travelling over TCP, so
+    externally connected ``descendc sweep-worker`` processes steal work
+    alongside the local ones.  Dead workers are respawned (bounded by the
+    retry budget) and their in-flight cells requeued with an advanced
+    fault epoch.
+    """
+    from repro.benchsuite.sweep import MAX_JOBS
+
+    jobs = max(1, min(int(jobs), MAX_JOBS, len(cells) or 1))
+    coordinator = SweepCoordinator(
+        cells,
+        store_url=store_url,
+        max_attempts=max_attempts,
+        progress=progress,
+        pass_totals=pass_totals,
+    )
+    coordinator.start()
+    workers: List[subprocess.Popen] = []
+    # A worker that exits nonzero before the sweep is over gets replaced,
+    # but only so many times: every legitimate respawn consumes one retry
+    # of some cell, so the attempt budget bounds the respawn budget too.
+    respawn_budget = coordinator.max_attempts * max(1, len(cells))
+    try:
+        workers = [_spawn_worker(coordinator.address, store_url) for _ in range(jobs)]
+        while not coordinator.wait(SUPERVISE_POLL_S):
+            for slot, proc in enumerate(workers):
+                code = proc.poll()
+                if code is None or coordinator.finished:
+                    continue
+                if respawn_budget <= 0:
+                    continue  # let the attempt bound produce the loud failure
+                respawn_budget -= 1
+                if progress is not None:
+                    progress(f"sweep worker exited with code {code}; respawning")
+                workers[slot] = _spawn_worker(coordinator.address, store_url)
+            if (
+                respawn_budget <= 0
+                and not coordinator.finished
+                and all(proc.poll() is not None for proc in workers)
+            ):
+                # Workers that keep dying before ever holding a cell never
+                # advance an attempt counter; fail loudly instead of waiting
+                # for a completion that cannot come.
+                raise BenchmarkError(
+                    "every sweep worker exited and the respawn budget is spent; "
+                    "check the workers' stderr (store unreachable?)"
+                )
+        return coordinator.result()
+    finally:
+        coordinator.close()
+        for proc in workers:
+            if proc.poll() is None:
+                with contextlib.suppress(OSError):
+                    proc.terminate()
+        for proc in workers:
+            with contextlib.suppress(Exception):
+                proc.wait(timeout=5.0)

@@ -29,6 +29,7 @@ import argparse
 import json
 import math
 import os
+import socket
 import sys
 import time
 from dataclasses import dataclass, field
@@ -132,6 +133,10 @@ class EngineBenchRow:
     #: kernels have no device plan to compile); ``None`` elsewhere.
     jit_cycles: Optional[float] = None
     jit_wall_s: Optional[float] = None
+    #: Which process measured this row — ``hostname:pid``, stamped by
+    #: :func:`compare_engines` so serial rows, pool shards and dispatched
+    #: remote workers are all attributable in the merged report.
+    host: str = ""
 
     @property
     def cycles_match(self) -> Optional[bool]:
@@ -181,7 +186,34 @@ class EngineBenchRow:
             "footprint_bytes": self.footprint_bytes,
             "skipped": self.skipped,
             "retries": self.retries,
+            "host": self.host,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "EngineBenchRow":
+        """Rebuild a row from :meth:`as_dict` output (dispatch wire format).
+
+        Only constructor fields are read — the derived columns
+        (``cycles_match``, ``speedup``, …) are recomputed by their
+        properties, so a round-tripped row is value-identical to the
+        original (JSON floats round-trip exactly via ``repr``).
+        """
+        return cls(
+            benchmark=str(payload["benchmark"]),
+            size=str(payload["size"]),
+            reference_cycles=payload.get("reference_cycles"),  # type: ignore[arg-type]
+            vectorized_cycles=payload["vectorized_cycles"],  # type: ignore[arg-type]
+            reference_wall_s=payload.get("reference_wall_s"),  # type: ignore[arg-type]
+            vectorized_wall_s=payload["vectorized_wall_s"],  # type: ignore[arg-type]
+            footprint_bytes=int(payload["footprint_bytes"]),  # type: ignore[arg-type]
+            variant=str(payload.get("variant", "cudalite")),
+            scale=int(payload.get("scale", 1)),  # type: ignore[arg-type]
+            skipped=payload.get("skipped"),  # type: ignore[arg-type]
+            retries=int(payload.get("retries", 0)),  # type: ignore[arg-type]
+            jit_cycles=payload.get("jit_cycles"),  # type: ignore[arg-type]
+            jit_wall_s=payload.get("jit_wall_s"),  # type: ignore[arg-type]
+            host=str(payload.get("host", "")),
+        )
 
 
 @dataclass
@@ -328,6 +360,11 @@ def _time_variant(runner, workload_: Workload, data, reference, engine: str, rep
     return cycles, best_wall
 
 
+def host_label() -> str:
+    """This process's row-attribution label (``hostname:pid``)."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
 def compare_engines(
     benchmark: str,
     size: str,
@@ -335,6 +372,7 @@ def compare_engines(
     variant: str = "cudalite",
     scale: Optional[int] = None,
     budget_s: Optional[float] = None,
+    device_s_per_cycle: Optional[float] = None,
 ) -> EngineBenchRow:
     """Run one workload on both engines and check cycle-count parity.
 
@@ -346,6 +384,14 @@ def compare_engines(
     runs first (it shares the exact cycle count), and if the deterministic
     estimate :func:`estimate_reference_wall_s` exceeds the budget the
     reference run is skipped and the row records ``skipped="budget"``.
+
+    ``device_s_per_cycle`` emulates waiting on a device executing the
+    measured kernels in real time (the simulator counts cycles instead of
+    occupying a GPU): after measuring, the call sleeps ``cycles x engines
+    run x this factor``.  The sleep happens *outside* the timed regions, so
+    every row column is identical with or without it — it only stretches
+    the caller's wall-clock, which is what the sweep-scaling benchmark
+    dispatches across workers.  ``None`` (the default) disables it.
     """
     workload_ = workload(benchmark, size, scale=scale)
     data, reference = _reference_and_data(workload_)
@@ -371,6 +417,7 @@ def compare_engines(
                 f"jit={jit_cycles} vectorized={vec_cycles}"
             )
     if budget_s is not None and estimate_reference_wall_s(vec_cycles) > budget_s:
+        _emulate_device_wait(vec_cycles, 2 if jit_cycles is not None else 1, device_s_per_cycle)
         return EngineBenchRow(
             benchmark=benchmark,
             size=size,
@@ -384,6 +431,7 @@ def compare_engines(
             skipped="budget",
             jit_cycles=jit_cycles,
             jit_wall_s=jit_wall,
+            host=host_label(),
         )
     ref_cycles, ref_wall = _time_variant(runner, workload_, data, reference, "reference", repeats)
     row = EngineBenchRow(
@@ -398,13 +446,23 @@ def compare_engines(
         scale=scale_factor(scale),
         jit_cycles=jit_cycles,
         jit_wall_s=jit_wall,
+        host=host_label(),
     )
     if not row.cycles_match:
         raise BenchmarkError(
             f"cycle-count parity violated for {workload_.label} ({variant}): "
             f"reference={ref_cycles} vectorized={vec_cycles}"
         )
+    _emulate_device_wait(vec_cycles, 3 if jit_cycles is not None else 2, device_s_per_cycle)
     return row
+
+
+def _emulate_device_wait(
+    cycles: float, engine_runs: int, device_s_per_cycle: Optional[float]
+) -> None:
+    """Model the wall-clock of a device executing the measured kernels."""
+    if device_s_per_cycle is not None and device_s_per_cycle > 0:
+        time.sleep(cycles * engine_runs * device_s_per_cycle)
 
 
 def _run_sweep(
@@ -426,10 +484,29 @@ def _run_sweep(
     result = EngineBenchResult(kind=kind)
     if jobs > 1:
         from repro.benchsuite.sweep import make_cells, run_cells
+        from repro.descend.store import is_store_url
 
+        cells = make_cells(variant, specs, repeats=repeats, budget_s=budget_s)
+        if store_path and is_store_url(store_path):
+            # A URL store means the sweep can leave the machine: route the
+            # cells through the pull-based dispatcher (workers steal cells
+            # over TCP) instead of the single-host process pool.
+            from repro.benchsuite.dispatch import dispatch_cells
+
+            if progress is not None:
+                progress(
+                    f"dispatching {len(specs)} sweep cells to {jobs} workers "
+                    f"(store {store_path}) ..."
+                )
+            result.rows.extend(
+                dispatch_cells(
+                    cells, jobs, store_url=store_path, progress=progress,
+                    pass_totals=result.compile_passes,
+                )
+            )
+            return result
         if progress is not None:
             progress(f"sharding {len(specs)} sweep cells across {jobs} workers ...")
-        cells = make_cells(variant, specs, repeats=repeats, budget_s=budget_s)
         result.rows.extend(
             run_cells(
                 cells, jobs, store_path=store_path, progress=progress,
@@ -600,6 +677,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(shared by every sweep worker with --jobs)",
     )
     parser.add_argument(
+        "--store-url", default=None, dest="store_url",
+        help="HTTP store endpoint URL of a `descendc serve --store-http` daemon; "
+        "with --jobs N the sweep dispatches cells to worker processes sharing "
+        "that remote store (pull-based work stealing)",
+    )
+    parser.add_argument(
         "--output", default=None,
         help="path of the JSON report (default: BENCH_engine.json, "
         "or BENCH_descend_engine.json with --descend)",
@@ -609,6 +692,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.output is None:
         args.output = "BENCH_descend_engine.json" if args.descend else "BENCH_engine.json"
+    if args.store and args.store_url:
+        parser.error("pass either --store or --store-url, not both")
+    if args.store_url:
+        args.store = args.store_url
     if args.scales and not args.descend:
         parser.error("--scales applies to the Descend variant; use --scale with the CUDA-lite bench")
     if args.descend and args.scale is not None and args.scales:

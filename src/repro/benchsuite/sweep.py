@@ -112,6 +112,7 @@ def _run_cell(cell: Dict[str, object]):
             variant=str(cell["variant"]),
             scale=cell["scale"],  # type: ignore[arg-type]
             budget_s=cell["budget_s"],  # type: ignore[arg-type]
+            device_s_per_cycle=cell.get("device_s_per_cycle"),  # type: ignore[arg-type]
         )
         return cell["index"], row, None, session.pass_counts_since(mark)
     except Exception as exc:  # propagate as data: tracebacks don't cross Pool cleanly
@@ -224,8 +225,15 @@ def make_cells(
     specs: Sequence[tuple],
     repeats: int,
     budget_s: Optional[float],
+    device_s_per_cycle: Optional[float] = None,
 ) -> List[Dict[str, object]]:
-    """Cell dicts for ``specs`` of ``(benchmark, size, scale)`` triples."""
+    """Cell dicts for ``specs`` of ``(benchmark, size, scale)`` triples.
+
+    ``device_s_per_cycle`` threads the emulated device-execution wait of
+    :func:`~repro.benchsuite.enginebench.compare_engines` through to the
+    workers (the sweep-scaling benchmark's device-bound regime); the
+    default leaves the cells pure measurement.
+    """
     return [
         {
             "index": index,
@@ -235,6 +243,7 @@ def make_cells(
             "scale": scale,
             "repeats": repeats,
             "budget_s": budget_s,
+            "device_s_per_cycle": device_s_per_cycle,
         }
         for index, (benchmark, size, scale) in enumerate(specs)
     ]

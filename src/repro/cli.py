@@ -243,18 +243,30 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.descend.serve import CompileServer, ServeConfig
 
+    store_path = _store_path(args)
+    if args.store_http is not None and not store_path:
+        print(
+            "error: --store-http serves the attached artifact store; "
+            "pass --store PATH or set REPRO_STORE",
+            file=sys.stderr,
+        )
+        return 2
     config = ServeConfig(
         socket_path=args.socket,
-        store_path=_store_path(args),
+        store_path=store_path,
         max_pending=args.max_pending,
         max_frame_bytes=args.max_frame_bytes,
         drain_timeout_s=args.drain_timeout,
         read_timeout_s=args.read_timeout if args.read_timeout > 0 else None,
+        store_http_port=args.store_http,
+        store_http_host=args.store_http_host,
     )
     server = CompileServer(_BACKEND, config)
 
     def ready() -> None:
         print(f"descendc serve: listening on {args.socket}", file=sys.stderr, flush=True)
+        if server.store_url:
+            print(f"descendc serve: store at {server.store_url}", file=sys.stderr, flush=True)
 
     try:
         asyncio.run(server.run(on_ready=ready))
@@ -263,6 +275,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     print("descendc serve: drained and stopped", file=sys.stderr)
     return 0
+
+
+def cmd_sweep_worker(args: argparse.Namespace) -> int:
+    from repro.benchsuite.dispatch import run_worker
+
+    host, _, port = args.connect.rpartition(":")
+    try:
+        port_number = int(port)
+    except ValueError:
+        print(f"error: --connect wants HOST:PORT, got {args.connect!r}", file=sys.stderr)
+        return 2
+    try:
+        return run_worker((host or "127.0.0.1", port_number), store_url=_store_path(args))
+    except OSError as exc:
+        print(f"error: cannot reach sweep coordinator at {args.connect!r}: {exc}", file=sys.stderr)
+        return EXIT_CODES[ERR_IO]
 
 
 def cmd_client(args: argparse.Namespace) -> int:
@@ -343,6 +371,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.compile and args.serve:
         print("error: --compile and --serve are mutually exclusive", file=sys.stderr)
         return 2
+    if args.store_url and args.store:
+        print("error: --store and --store-url are mutually exclusive", file=sys.stderr)
+        return 2
     if args.compile:
         if workload_flags:
             print(
@@ -411,9 +442,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         forwarded += ["--jobs", str(args.jobs)]
     if args.budget is not None:
         forwarded += ["--budget", str(args.budget)]
-    store = _store_path(args)
-    if store:
-        forwarded += ["--store", store]
+    if args.store_url:
+        forwarded += ["--store-url", args.store_url]
+    else:
+        store = _store_path(args)
+        if store:
+            forwarded += ["--store", store]
     if args.output:
         forwarded += ["--output", args.output]
     if args.json:
@@ -422,10 +456,50 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
+    path = _store_path(args)
+    if not args.http_backend:
+        return _run_fuzz_command(args, path)
+
+    # --http-backend: persist the campaign's artifacts through the HTTP
+    # store protocol instead of the local-dir backend — an in-process
+    # daemon serves the --store directory on an ephemeral port and the
+    # fuzzer attaches to its URL (same store, remote wire path).
+    from repro.descend.store import is_store_url
+
+    if not path:
+        print(
+            "error: --http-backend needs a store; pass --store PATH or set REPRO_STORE",
+            file=sys.stderr,
+        )
+        return 2
+    if is_store_url(path):
+        print(
+            "error: --http-backend serves a local store directory over HTTP; "
+            "--store is already a URL",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.descend.serve import ServeConfig, ServerThread
+
+    socket_path = os.path.join(
+        tempfile.mkdtemp(prefix="descendc-fuzz-http-"), "serve.sock"
+    )
+    config = ServeConfig(socket_path, store_path=path, store_http_port=0)
+    try:
+        thread = ServerThread(LocalBackend(label="fuzz-http"), config).start()
+    except (OSError, RuntimeError) as exc:
+        print(f"error: cannot serve store {path!r} over HTTP: {exc}", file=sys.stderr)
+        return 2
+    try:
+        return _run_fuzz_command(args, thread.store_url)
+    finally:
+        thread.stop()
+
+
+def _run_fuzz_command(args: argparse.Namespace, path: Optional[str]) -> int:
     from repro.fuzz import run_fuzz, run_replay
 
     store = None
-    path = _store_path(args)
     if path:
         try:
             from repro.descend.store import ArtifactStore
@@ -506,6 +580,16 @@ def cmd_cache(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"error: cannot open artifact store {path!r}: {exc}", file=sys.stderr)
         return 2
+    try:
+        return _run_cache_command(args, store, path)
+    except OSError as exc:
+        # Remote (URL) stores can fail mid-operation; management commands
+        # surface that instead of degrading like the compile path does.
+        print(f"error: store operation failed on {path!r}: {exc}", file=sys.stderr)
+        return EXIT_CODES[ERR_IO]
+
+
+def _run_cache_command(args: argparse.Namespace, store, path: str) -> int:
     if args.cache_command == "stats":
         stats = store.stats()
         if args.json:
@@ -527,7 +611,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
         store.clear()
         print(f"cleared store {path}")
     elif args.cache_command == "gc":
-        summary = store.gc(max_bytes=args.max_bytes)
+        summary = store.gc(max_bytes=args.max_bytes, quarantine_age_s=args.quarantine_age)
         if args.json:
             print(_json.dumps(summary, indent=2))
         else:
@@ -619,7 +703,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-connection idle bound between request frames (seconds); "
         "0 disables the idle kick",
     )
+    serve.add_argument(
+        "--store-http", type=int, default=None, metavar="PORT", dest="store_http",
+        help="also serve the attached artifact store over HTTP on this TCP port "
+        "(0 picks an ephemeral port) for remote sweep workers and clients",
+    )
+    serve.add_argument(
+        "--store-http-host", default="127.0.0.1", dest="store_http_host",
+        help="interface the HTTP store endpoint binds (default: 127.0.0.1)",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    sweep_worker = sub.add_parser(
+        "sweep-worker", parents=[common],
+        help="join a distributed bench sweep as a pull-based worker process",
+    )
+    sweep_worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="address of the sweep coordinator (printed by `descendc bench --jobs N "
+        "--store-url URL`, or passed out-of-band for remote machines)",
+    )
+    sweep_worker.set_defaults(func=cmd_sweep_worker)
 
     client = sub.add_parser(
         "client", parents=[common, plan_opts],
@@ -668,6 +772,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="reconcile the index with the blobs and enforce the size budget",
     )
     cache_gc.add_argument("--max-bytes", type=int, default=None)
+    cache_gc.add_argument(
+        "--quarantine-age", type=float, default=None, dest="quarantine_age",
+        metavar="SECONDS",
+        help="age past which quarantined (corrupt) blobs are deleted for good "
+        "(default: REPRO_STORE_QUARANTINE_S or 3600)",
+    )
     cache_gc.add_argument("--json", action="store_true")
     cache_gc.set_defaults(func=cmd_cache)
 
@@ -693,6 +803,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--no-shrink", action="store_true", dest="no_shrink",
         help="persist failing cases unminimized (faster on pervasive failures)",
+    )
+    fuzz.add_argument(
+        "--http-backend", action="store_true", dest="http_backend",
+        help="persist the campaign's repro artifacts through the HTTP store "
+        "protocol (an in-process daemon serves --store on an ephemeral port)",
     )
     fuzz.add_argument("--json", action="store_true", help="print the full report")
     fuzz.set_defaults(func=cmd_fuzz)
@@ -754,6 +869,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-row wall-clock budget (seconds) for the reference-engine column "
         "of the Descend sweep; over-budget rows record it as skipped",
     )
+    bench.add_argument(
+        "--store-url", default=None, dest="store_url", metavar="URL",
+        help="attach the sweep to a daemon's HTTP store endpoint and dispatch "
+        "--jobs N cells to worker processes with pull-based work stealing",
+    )
     bench.add_argument("--output", help="path of the BENCH_*.json report")
     bench.add_argument("--json", action="store_true")
     bench.set_defaults(func=cmd_bench)
@@ -765,8 +885,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     # Attach (or detach) the persistent artifact store for this invocation;
-    # `cache` manages the store directly and `client` defers to the daemon's.
-    if args.command not in ("cache", "client"):
+    # `cache` manages the store directly, `client` defers to the daemon's,
+    # and `sweep-worker` attaches per-cell inside its run loop.
+    if args.command not in ("cache", "client", "sweep-worker"):
         path = _store_path(args)
         try:
             _BACKEND.attach_store_path(path)

@@ -41,6 +41,11 @@ class ServeConfig:
     max_frame_bytes: int = MAX_FRAME_BYTES
     drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S
     read_timeout_s: Optional[float] = DEFAULT_READ_TIMEOUT_S
+    #: Serve the attached artifact store over HTTP for remote sweep workers
+    #: (``0`` binds an ephemeral port; ``None`` disables the endpoint) —
+    #: see :mod:`repro.descend.serve.storehttp`.
+    store_http_port: Optional[int] = None
+    store_http_host: str = "127.0.0.1"
 
 
 def coalesce_key(request: Request) -> Optional[str]:

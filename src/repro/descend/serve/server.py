@@ -92,6 +92,9 @@ class CompileServer:
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="descend-compile"
         )
+        #: Bound ``(host, port)`` of the HTTP store endpoint, once serving.
+        self.store_http_address: Optional[tuple] = None
+        self._store_endpoint = None
 
     # -- lifecycle --------------------------------------------------------------
     def request_stop(self) -> None:
@@ -104,8 +107,16 @@ class CompileServer:
         if loop is not None and loop.is_running():
             loop.call_soon_threadsafe(self.request_stop)
 
+    @property
+    def store_url(self) -> Optional[str]:
+        """The HTTP store endpoint's URL, once serving (``None`` otherwise)."""
+        if self.store_http_address is None:
+            return None
+        host, port = self.store_http_address
+        return f"http://{host}:{port}"
+
     def stats(self) -> Dict[str, object]:
-        return {
+        stats: Dict[str, object] = {
             "requests": self.requests,
             "coalesced": self.coalesced,
             "overloaded": self.overloaded,
@@ -114,6 +125,13 @@ class CompileServer:
             "clients": len(self._clients),
             "uptime_s": time.time() - self.started_unix,
         }
+        if self._store_endpoint is not None:
+            stats["store_http"] = {
+                "url": self.store_url,
+                "requests": self._store_endpoint.requests,
+                "errors": self._store_endpoint.errors,
+            }
+        return stats
 
     async def run(self, on_ready=None) -> None:
         """Serve until :meth:`request_stop`, then drain and exit."""
@@ -131,6 +149,25 @@ class CompileServer:
         server = await asyncio.start_unix_server(
             self._on_client, path=path, limit=self.config.max_frame_bytes
         )
+        store_server = None
+        if self.config.store_http_port is not None:
+            if not self.config.store_path:
+                raise ValueError("the HTTP store endpoint requires a store path")
+            from repro.descend.serve.storehttp import StoreHttpEndpoint
+
+            # Store work shares the compile executor: the daemon's single
+            # writer stays the one serialization point for local compiles
+            # *and* remote index swaps.
+            self._store_endpoint = StoreHttpEndpoint(
+                self.config.store_path, self._executor
+            )
+            store_server = await asyncio.start_server(
+                self._store_endpoint.on_client,
+                host=self.config.store_http_host,
+                port=self.config.store_http_port,
+            )
+            bound = store_server.sockets[0].getsockname()
+            self.store_http_address = (bound[0], bound[1])
         self._install_signal_handlers()
         try:
             if on_ready is not None:
@@ -139,6 +176,9 @@ class CompileServer:
         finally:
             server.close()
             await server.wait_closed()
+            if store_server is not None:
+                store_server.close()
+                await store_server.wait_closed()
             await self._drain()
             for writer in list(self._clients):
                 self._close_writer(writer)
@@ -385,6 +425,11 @@ class ServerThread:
         if not self._ready.wait(timeout):
             raise RuntimeError("compile server failed to start in time")
         return self
+
+    @property
+    def store_url(self) -> Optional[str]:
+        """The daemon's HTTP store endpoint URL (``None`` unless enabled)."""
+        return self.server.store_url
 
     def stop(self, timeout: float = 10.0) -> None:
         self.server.stop_threadsafe()

@@ -12,13 +12,31 @@ story, and :mod:`repro.descend.store.fingerprint` for the self-invalidating
 schema versioning.
 """
 
-from repro.descend.store.cas import DEFAULT_MAX_BYTES, PICKLE_PROTOCOL, ArtifactStore
+from repro.descend.store.backend import (
+    HttpBackend,
+    LocalDirBackend,
+    StoreBackend,
+    is_store_url,
+)
+from repro.descend.store.cas import (
+    DEFAULT_MAX_BYTES,
+    ENV_QUARANTINE_S,
+    PICKLE_PROTOCOL,
+    ArtifactStore,
+    default_quarantine_age_s,
+)
 from repro.descend.store.fingerprint import STORE_FORMAT, pipeline_fingerprint
 
 __all__ = [
     "ArtifactStore",
+    "StoreBackend",
+    "LocalDirBackend",
+    "HttpBackend",
+    "is_store_url",
     "DEFAULT_MAX_BYTES",
+    "ENV_QUARANTINE_S",
     "PICKLE_PROTOCOL",
     "STORE_FORMAT",
+    "default_quarantine_age_s",
     "pipeline_fingerprint",
 ]

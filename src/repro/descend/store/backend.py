@@ -1,0 +1,637 @@
+"""Pluggable I/O backends of the content-addressed artifact store.
+
+:class:`~repro.descend.store.cas.ArtifactStore` is the *policy* layer —
+pickling, LRU eviction, quarantine decisions, counters, never-raise
+degradation.  This module is the *mechanism* layer underneath it: where
+blobs and the index actually live.  A :class:`StoreBackend` exposes the
+five primitive surfaces the policy layer needs:
+
+* blob get/put/delete (content-addressed, so puts are idempotent),
+* index read / compare-and-swap (a monotonically increasing ``rev``
+  guards every swap, giving lock-free readers and a bounded optimistic
+  read-modify-write loop for writers),
+* blob listing (index rebuild + gc reconcile),
+* maintenance sweeps (stale tmp files, aged-out quarantine),
+* a ``stat`` handshake (format + schema fingerprint) so a client can
+  refuse a store written by a different compiler build *before* touching
+  any data.
+
+Two implementations ship:
+
+:class:`LocalDirBackend`
+    The PR 4 on-disk layout, byte-for-byte: ``objects/ab/<digest>``
+    blobs, ``tempfile + os.replace`` atomic writes staged under ``tmp/``,
+    and an ``fcntl.flock`` on ``<root>/lock``.  It overrides
+    :meth:`StoreBackend.index_update` with a flock-held
+    read-modify-write, so the multi-process concurrency story (and the
+    ``store.index.flock`` fault seam) is exactly the one the concurrent
+    writer tests have always exercised.
+
+:class:`HttpBackend`
+    A thin HTTP/1.1 client (stdlib ``http.client``, keep-alive) for the
+    store endpoint the ``descendc serve`` daemon exposes (see
+    :mod:`repro.descend.serve.storehttp`).  Index swaps become
+    ``PUT /v1/index`` guarded by ``expect_rev`` — the daemon's
+    single-writer executor is the serialization point, so the default
+    CAS loop in :meth:`StoreBackend.index_update` is all the client
+    needs.  Every request carries bounded retry with reconnect, and the
+    ``store.http.get`` / ``store.http.put`` fault seams inject failures
+    *inside* that retry loop, so chaos rules with ``nth=1`` heal exactly
+    like a real dropped response.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import http.client
+import json
+import os
+import tempfile
+import time
+import urllib.parse
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+from repro import faults
+from repro.descend.store.fingerprint import STORE_FORMAT
+
+try:  # pragma: no cover - POSIX everywhere we run; degrade gracefully elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = [
+    "StoreBackend",
+    "LocalDirBackend",
+    "HttpBackend",
+    "backend_for",
+    "is_store_url",
+]
+
+#: Wire protocol version of the HTTP store endpoint (path prefix ``/v1``).
+HTTP_PROTOCOL_VERSION = 1
+
+#: Largest blob/index body the HTTP endpoint and client will accept.
+MAX_HTTP_BODY_BYTES = 64 * 1024 * 1024
+
+
+def is_store_url(location: object) -> bool:
+    """Whether ``location`` names a remote HTTP store rather than a directory."""
+    return str(location).startswith(("http://", "https://"))
+
+
+def backend_for(location: os.PathLike | str, schema: str) -> "StoreBackend":
+    """The backend matching ``location``: a directory path or an HTTP URL."""
+    if is_store_url(location):
+        return HttpBackend(str(location), schema)
+    return LocalDirBackend(Path(location), schema)
+
+
+class StoreBackend:
+    """Primitive blob/index I/O under an :class:`ArtifactStore`.
+
+    Error contract (what the policy layer relies on):
+
+    * ``blob_get`` returns ``None`` for a missing digest and raises
+      :class:`OSError` for transient I/O trouble — the caller decides
+      whether a failure is a miss, an error, or grounds for quarantine.
+    * ``index_read`` returns ``(rev, entries_or_None)``; ``None`` means
+      the index is unreadable/corrupt and the caller should rebuild from
+      :meth:`list_blobs`.  It never invents an empty table for a corrupt
+      one.
+    * ``index_swap`` returns ``False`` (not an exception) when the rev
+      moved underneath the caller; everything else that fails raises
+      :class:`OSError`.
+    """
+
+    #: Human-readable backend family (``local-dir`` / ``http``), surfaced
+    #: in ``cache stats`` output.
+    kind = "abstract"
+
+    #: Where this store lives (directory path or URL), for messages/stats.
+    location = ""
+
+    #: Bound on the optimistic read-modify-write loop: contention past
+    #: this degrades to a failed (not blocked) store operation.
+    INDEX_UPDATE_ATTEMPTS = 8
+
+    def ensure_ready(self) -> None:
+        raise NotImplementedError
+
+    def blob_get(self, digest: str) -> Optional[bytes]:
+        raise NotImplementedError
+
+    def blob_put(self, digest: str, data: bytes) -> None:
+        raise NotImplementedError
+
+    def blob_delete(self, digest: str) -> None:
+        raise NotImplementedError
+
+    def blob_quarantine(self, digest: str) -> None:
+        raise NotImplementedError
+
+    def quarantine_count(self) -> int:
+        raise NotImplementedError
+
+    def list_blobs(self) -> Dict[str, int]:
+        raise NotImplementedError
+
+    def index_read(self) -> Tuple[int, Optional[Dict[str, object]]]:
+        raise NotImplementedError
+
+    def index_swap(self, expect_rev: int, entries: Dict[str, object]) -> bool:
+        raise NotImplementedError
+
+    def index_update(
+        self, mutate: Callable[[Optional[Dict[str, object]]], Dict[str, object]]
+    ) -> Dict[str, object]:
+        """Atomically apply ``mutate`` to the entry table.
+
+        The default is an optimistic CAS loop over read + swap — correct
+        against any number of concurrent writers as long as swaps are
+        rev-guarded.  Backends with a cheaper native mutual exclusion
+        (:class:`LocalDirBackend`'s flock) override this.
+        """
+        for _ in range(self.INDEX_UPDATE_ATTEMPTS):
+            rev, raw = self.index_read()
+            entries = mutate(raw)
+            if self.index_swap(rev, entries):
+                return entries
+        raise OSError(
+            f"index update lost {self.INDEX_UPDATE_ATTEMPTS} swap races at {self.location}"
+        )
+
+    def maintain(self, tmp_stale_s: float, quarantine_age_s: float) -> None:
+        raise NotImplementedError
+
+    def wipe(self) -> None:
+        raise NotImplementedError
+
+    def stat(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+
+class LocalDirBackend(StoreBackend):
+    """The original on-disk store layout behind the backend interface.
+
+    Layout under the root::
+
+        <root>/
+            schema.json          # {"format": 1, "schema": "<fingerprint>"}
+            index.json           # {"rev": N, "entries": {digest: {...}}}
+            lock                 # fcntl advisory lock serializing index writes
+            objects/ab/abcdef…   # one pickle blob per artifact, named by digest
+            tmp/                 # in-flight atomic-write staging
+            quarantine/          # corrupt blobs moved aside, aged out by gc
+
+    ``rev`` increments on every index write; :meth:`index_swap` lets a
+    lock-free caller (the HTTP endpoint serving remote clients) detect a
+    concurrent local writer, while local processes keep using the
+    flock-held :meth:`index_update` override.
+    """
+
+    kind = "local-dir"
+
+    def __init__(self, root: Path, schema: str) -> None:
+        self.root = Path(root)
+        self.schema = schema
+        self.location = str(root)
+
+    # -- layout ----------------------------------------------------------------
+    @property
+    def _objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def _index_path(self) -> Path:
+        return self.root / "index.json"
+
+    @property
+    def _schema_path(self) -> Path:
+        return self.root / "schema.json"
+
+    @property
+    def _tmp_dir(self) -> Path:
+        # In-flight writes stage here, *outside* objects/, so maintenance's
+        # stray-file sweep can never delete a tmp file a concurrent writer
+        # is about to os.replace into place (same filesystem, so the rename
+        # stays atomic).
+        return self.root / "tmp"
+
+    @property
+    def _quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def _object_path(self, digest: str) -> Path:
+        return self._objects_dir / digest[:2] / digest
+
+    @staticmethod
+    def _is_digest(name: str) -> bool:
+        return len(name) == 64 and all(c in "0123456789abcdef" for c in name)
+
+    def ensure_ready(self) -> None:
+        self._objects_dir.mkdir(parents=True, exist_ok=True)
+        self._tmp_dir.mkdir(parents=True, exist_ok=True)
+        with self._locked():
+            if not self._schema_matches():
+                self._wipe_objects_locked()
+                self._write_json(self._index_path, {"rev": 0, "entries": {}})
+                self._write_json(
+                    self._schema_path,
+                    {"format": STORE_FORMAT, "schema": self.schema},
+                )
+
+    def _schema_matches(self) -> bool:
+        try:
+            with open(self._schema_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+            return (
+                isinstance(meta, dict)
+                and meta.get("format") == STORE_FORMAT
+                and meta.get("schema") == self.schema
+            )
+        except (OSError, ValueError):
+            return False
+
+    # -- locking ---------------------------------------------------------------
+    @contextlib.contextmanager
+    def _locked(self):
+        """Hold the store's advisory lock (no-op where flock is unavailable)."""
+        if fcntl is None:  # pragma: no cover
+            yield
+            return
+        faults.maybe_raise("store.index.flock")
+        lock_path = self.root / "lock"
+        with open(lock_path, "a+b") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    # -- atomic writes ---------------------------------------------------------
+    def _write_json(self, path: Path, payload: Dict[str, object]) -> None:
+        self._atomic_write(path, json.dumps(payload, indent=1).encode("utf-8"))
+
+    def _atomic_write(self, path: Path, data: bytes, is_blob: bool = False) -> None:
+        self._tmp_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=str(self._tmp_dir), prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            if is_blob:
+                faults.maybe_raise("store.blob.rename")
+            os.replace(tmp_name, path)
+        except OSError:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+
+    # -- blobs -----------------------------------------------------------------
+    def blob_get(self, digest: str) -> Optional[bytes]:
+        try:
+            with open(self._object_path(digest), "rb") as handle:
+                rule = faults.maybe_raise("store.blob.read")
+                blob = handle.read()
+        except FileNotFoundError:
+            return None
+        if rule is not None and rule.kind == "torn":
+            blob = blob[: len(blob) // 2]
+        return blob
+
+    def blob_put(self, digest: str, data: bytes) -> None:
+        rule = faults.maybe_raise("store.blob.write")
+        if rule is not None and rule.kind == "torn":
+            # A torn write: the rename lands, but the bytes are cut short —
+            # the on-disk image a crash between write and fsync leaves
+            # behind.  The next load quarantines it.
+            data = data[: len(data) // 2]
+        path = self._object_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(path, data, is_blob=True)
+
+    def blob_delete(self, digest: str) -> None:
+        with contextlib.suppress(FileNotFoundError):
+            self._object_path(digest).unlink()
+
+    def blob_quarantine(self, digest: str) -> None:
+        source = self._object_path(digest)
+        try:
+            self._quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(source, self._quarantine_dir / digest)
+        except OSError:
+            # Can't move it aside (readonly dir, cross-device, gone already):
+            # fall back to deleting so the poison at least can't re-degrade.
+            with contextlib.suppress(OSError):
+                source.unlink()
+
+    def quarantine_count(self) -> int:
+        try:
+            return sum(1 for path in self._quarantine_dir.glob("*") if path.is_file())
+        except OSError:  # pragma: no cover
+            return 0
+
+    def list_blobs(self) -> Dict[str, int]:
+        blobs: Dict[str, int] = {}
+        for path in self._objects_dir.rglob("*"):
+            if path.is_file() and self._is_digest(path.name):
+                with contextlib.suppress(OSError):
+                    blobs[path.name] = path.stat().st_size
+        return blobs
+
+    # -- index -----------------------------------------------------------------
+    def _read_index_nolock(self) -> Tuple[int, Optional[Dict[str, object]]]:
+        try:
+            with open(self._index_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if not isinstance(data, dict):
+                return 0, None
+            rev = data.get("rev", 0)
+            if not isinstance(rev, int) or rev < 0:
+                rev = 0
+            raw = data.get("entries")
+            return rev, (raw if isinstance(raw, dict) else None)
+        except (OSError, ValueError):
+            return 0, None
+
+    def index_read(self) -> Tuple[int, Optional[Dict[str, object]]]:
+        with self._locked():
+            return self._read_index_nolock()
+
+    def index_swap(self, expect_rev: int, entries: Dict[str, object]) -> bool:
+        with self._locked():
+            rev, _ = self._read_index_nolock()
+            if rev != expect_rev:
+                return False
+            self._write_json(self._index_path, {"rev": rev + 1, "entries": entries})
+            return True
+
+    def index_update(
+        self, mutate: Callable[[Optional[Dict[str, object]]], Dict[str, object]]
+    ) -> Dict[str, object]:
+        # Flock-held read-modify-write: identical multi-process semantics to
+        # the pre-backend store (one lock acquisition per index mutation, no
+        # retry loop to exhaust under writer contention).
+        with self._locked():
+            rev, raw = self._read_index_nolock()
+            entries = mutate(raw)
+            self._write_json(self._index_path, {"rev": rev + 1, "entries": entries})
+            return entries
+
+    # -- maintenance -----------------------------------------------------------
+    def maintain(self, tmp_stale_s: float, quarantine_age_s: float) -> None:
+        now = time.time()
+        for path in self._objects_dir.rglob("*"):
+            if path.is_file() and not self._is_digest(path.name):
+                with contextlib.suppress(OSError):
+                    path.unlink()
+        # Staging files are only swept once stale: a live writer's tmp file
+        # (pre-os.replace) must survive a concurrent maintenance pass.
+        tmp_before = now - tmp_stale_s
+        for path in self._tmp_dir.glob("*"):
+            with contextlib.suppress(OSError):
+                if path.is_file() and path.stat().st_mtime < tmp_before:
+                    path.unlink()
+        # Quarantined blobs age out on their own schedule: kept long enough
+        # to debug a corruption burst, never accumulated forever.
+        quarantine_before = now - quarantine_age_s
+        if self._quarantine_dir.is_dir():
+            for path in self._quarantine_dir.glob("*"):
+                with contextlib.suppress(OSError):
+                    if path.is_file() and path.stat().st_mtime < quarantine_before:
+                        path.unlink()
+
+    def wipe(self) -> None:
+        self._wipe_objects_locked()
+
+    def _wipe_objects_locked(self) -> None:
+        for path in self._objects_dir.rglob("*"):
+            if path.is_file():
+                with contextlib.suppress(OSError):
+                    path.unlink()
+
+    def stat(self) -> Dict[str, object]:
+        rev, _ = self.index_read()
+        return {
+            "format": STORE_FORMAT,
+            "schema": self.schema,
+            "rev": rev,
+            "quarantine": self.quarantine_count(),
+        }
+
+
+class HttpBackend(StoreBackend):
+    """Client of the daemon's HTTP store endpoint.
+
+    One persistent keep-alive connection, reconnected on any transport
+    failure; every request retries up to :data:`RETRY_ATTEMPTS` times with
+    a small exponential backoff.  The ``store.http.get`` (reads: blob GET,
+    index GET, listing, stat) and ``store.http.put`` (writes: blob PUT,
+    index swap, delete, maintenance) fault seams fire *inside* the retry
+    loop — an injected drop consumes one attempt exactly like a real lost
+    response, so single-shot chaos rules heal transparently.
+
+    Attachment is loud: construction performs a ``GET /v1/stat`` handshake
+    and raises :class:`OSError` if the server is unreachable or was filled
+    by a different compiler build.  Unlike the local backend, a schema
+    mismatch never wipes the remote store — the server owns its data; the
+    client simply refuses to use it.
+    """
+
+    kind = "http"
+
+    #: Transport-level retry bound per request (attempt, reconnect, retry).
+    RETRY_ATTEMPTS = 3
+    #: Base of the exponential backoff between attempts.
+    RETRY_BASE_DELAY_S = 0.02
+
+    def __init__(self, url: str, schema: str, timeout_s: float = 30.0) -> None:
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme not in ("http", "https") or not parsed.hostname:
+            raise OSError(f"not a store URL: {url!r}")
+        self.location = url.rstrip("/")
+        self.schema = schema
+        self._https = parsed.scheme == "https"
+        self._host = parsed.hostname
+        self._port = parsed.port or (443 if self._https else 80)
+        self._prefix = parsed.path.rstrip("/")
+        self._timeout_s = timeout_s
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport -------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            factory = (
+                http.client.HTTPSConnection if self._https else http.client.HTTPConnection
+            )
+            self._conn = factory(self._host, self._port, timeout=self._timeout_s)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            with contextlib.suppress(Exception):
+                self._conn.close()
+            self._conn = None
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        site: Optional[str] = None,
+    ) -> Tuple[int, bytes]:
+        """One store RPC: ``(status, body)``, with bounded retry.
+
+        Raises :class:`OSError` once every attempt has failed at the
+        transport level; HTTP-level error statuses are returned for the
+        caller to interpret (404 is a perfectly good answer).
+        """
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.RETRY_ATTEMPTS):
+            if attempt:
+                time.sleep(self.RETRY_BASE_DELAY_S * (2 ** (attempt - 1)))
+            rule = None
+            try:
+                if site is not None:
+                    rule = faults.maybe_raise(site)
+                    if rule is not None and rule.kind == "drop":
+                        # A dropped response: the request may or may not have
+                        # reached the server (idempotent either way); the
+                        # connection is dead from the client's point of view.
+                        self.close()
+                        raise faults.InjectedOSError(f"injected dropped response at {site}")
+                conn = self._connection()
+                conn.request(method, self._prefix + path, body=body)
+                response = conn.getresponse()
+                payload = response.read()
+            except (OSError, http.client.HTTPException, faults.InjectedError) as exc:
+                self.close()
+                last_error = exc
+                continue
+            if rule is not None and rule.kind == "torn":
+                payload = payload[: len(payload) // 2]
+            return response.status, payload
+        raise OSError(
+            f"store {method} {path} at {self.location} failed after "
+            f"{self.RETRY_ATTEMPTS} attempts: {last_error}"
+        )
+
+    def _json(self, payload: bytes) -> Dict[str, object]:
+        try:
+            data = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise OSError(f"malformed response from store at {self.location}: {exc}")
+        if not isinstance(data, dict):
+            raise OSError(f"malformed response from store at {self.location}")
+        return data
+
+    # -- handshake -------------------------------------------------------------
+    def ensure_ready(self) -> None:
+        status, payload = self._request("GET", "/v1/stat")
+        if status != 200:
+            raise OSError(f"store endpoint {self.location} refused stat: HTTP {status}")
+        meta = self._json(payload)
+        if meta.get("format") != STORE_FORMAT or meta.get("schema") != self.schema:
+            # Never wipe a remote store on mismatch — refuse it instead.
+            raise OSError(
+                f"remote store {self.location} was written by a different "
+                "compiler build (schema fingerprint mismatch); refusing to attach"
+            )
+
+    # -- blobs -----------------------------------------------------------------
+    def blob_get(self, digest: str) -> Optional[bytes]:
+        status, payload = self._request(
+            "GET", f"/v1/blob/{digest}", site="store.http.get"
+        )
+        if status == 404:
+            return None
+        if status != 200:
+            raise OSError(f"blob GET {digest[:12]} failed: HTTP {status}")
+        return payload
+
+    def blob_put(self, digest: str, data: bytes) -> None:
+        status, _ = self._request(
+            "PUT", f"/v1/blob/{digest}", body=data, site="store.http.put"
+        )
+        if status not in (200, 204):
+            raise OSError(f"blob PUT {digest[:12]} failed: HTTP {status}")
+
+    def blob_delete(self, digest: str) -> None:
+        status, _ = self._request(
+            "DELETE", f"/v1/blob/{digest}", site="store.http.put"
+        )
+        if status not in (200, 204, 404):
+            raise OSError(f"blob DELETE {digest[:12]} failed: HTTP {status}")
+
+    def blob_quarantine(self, digest: str) -> None:
+        status, _ = self._request(
+            "DELETE", f"/v1/blob/{digest}?quarantine=1", site="store.http.put"
+        )
+        if status not in (200, 204, 404):
+            raise OSError(f"blob quarantine {digest[:12]} failed: HTTP {status}")
+
+    def quarantine_count(self) -> int:
+        try:
+            status, payload = self._request("GET", "/v1/stat", site="store.http.get")
+            if status != 200:
+                return 0
+            return int(self._json(payload).get("quarantine", 0))  # type: ignore[arg-type]
+        except (OSError, TypeError, ValueError):
+            return 0
+
+    def list_blobs(self) -> Dict[str, int]:
+        status, payload = self._request("GET", "/v1/blobs", site="store.http.get")
+        if status != 200:
+            raise OSError(f"blob listing failed: HTTP {status}")
+        listing = self._json(payload)
+        blobs: Dict[str, int] = {}
+        for digest, size in listing.items():
+            try:
+                blobs[str(digest)] = int(size)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                continue
+        return blobs
+
+    # -- index -----------------------------------------------------------------
+    def index_read(self) -> Tuple[int, Optional[Dict[str, object]]]:
+        status, payload = self._request("GET", "/v1/index", site="store.http.get")
+        if status != 200:
+            raise OSError(f"index GET failed: HTTP {status}")
+        data = self._json(payload)
+        rev = data.get("rev", 0)
+        if not isinstance(rev, int) or rev < 0:
+            rev = 0
+        raw = data.get("entries")
+        return rev, (raw if isinstance(raw, dict) else None)
+
+    def index_swap(self, expect_rev: int, entries: Dict[str, object]) -> bool:
+        body = json.dumps(
+            {"expect_rev": expect_rev, "entries": entries}, sort_keys=True
+        ).encode("utf-8")
+        status, _ = self._request("PUT", "/v1/index", body=body, site="store.http.put")
+        if status in (200, 204):
+            return True
+        if status == 409:
+            return False
+        raise OSError(f"index swap failed: HTTP {status}")
+
+    # -- maintenance -----------------------------------------------------------
+    def maintain(self, tmp_stale_s: float, quarantine_age_s: float) -> None:
+        body = json.dumps(
+            {"tmp_stale_s": tmp_stale_s, "quarantine_age_s": quarantine_age_s},
+            sort_keys=True,
+        ).encode("utf-8")
+        status, _ = self._request("POST", "/v1/maintain", body=body, site="store.http.put")
+        if status not in (200, 204):
+            raise OSError(f"store maintenance failed: HTTP {status}")
+
+    def wipe(self) -> None:
+        status, _ = self._request("POST", "/v1/clear", site="store.http.put")
+        if status not in (200, 204):
+            raise OSError(f"store clear failed: HTTP {status}")
+
+    def stat(self) -> Dict[str, object]:
+        status, payload = self._request("GET", "/v1/stat", site="store.http.get")
+        if status != 200:
+            raise OSError(f"store stat failed: HTTP {status}")
+        return self._json(payload)

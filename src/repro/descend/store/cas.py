@@ -1,63 +1,57 @@
-"""The on-disk content-addressed artifact store (CAS).
+"""The content-addressed artifact store (CAS): policy over a pluggable backend.
 
-Layout under the store root::
-
-    <root>/
-        schema.json          # {"format": 1, "schema": "<pipeline fingerprint>"}
-        index.json           # {"entries": {digest: {"size", "used", "kind"}}}
-        lock                 # fcntl advisory lock serializing index mutations
-        objects/ab/abcdef…   # one pickle blob per artifact, named by digest
-
-Design points, in the order they matter:
+The store maps hex digests to pickled compiler artifacts.  Since PR 10 the
+*where* of blobs and index lives behind a :class:`~repro.descend.store.backend.StoreBackend`
+(local directory or the daemon's HTTP store endpoint — see that module for
+the layout and wire protocol); this class keeps the *policy*, unchanged:
 
 * **Content addressing.**  Objects are immutable and named by the digest the
   compiler derives from the artifact's *inputs* (source hash / AST pickle +
   artifact kind), so concurrent writers of the same compilation write the
-  same bytes to the same name — last rename wins, both are correct.
+  same bytes to the same name — last write wins, both are correct.
 
-* **Crash/corruption safety.**  Blob and index writes go through
-  ``tempfile + os.replace`` (atomic on POSIX).  Reads trust nothing:
-  a truncated, corrupted, or unreadable blob is treated as a miss, never
-  an error — the caller falls back to a cold compile.  Corrupt blobs are
-  *quarantined* (moved to ``quarantine/`` and counted) rather than
-  silently re-degrading every later lookup; a corrupted index is rebuilt
-  by scanning ``objects/``.  The hot I/O seams (blob read/write/rename,
-  index flock) carry named :mod:`repro.faults` injection points, so the
-  chaos suite exercises these paths with real injected failures.
+* **Crash/corruption safety.**  Reads trust nothing: a truncated,
+  corrupted, or unreadable blob is treated as a miss, never an error — the
+  caller falls back to a cold compile.  Corrupt blobs are *quarantined*
+  (moved aside and counted) rather than silently re-degrading every later
+  lookup; a corrupted index is rebuilt by listing the (authoritative)
+  blobs.  The hot I/O seams (blob read/write/rename, index flock, HTTP
+  get/put) carry named :mod:`repro.faults` injection points, so the chaos
+  suite exercises these paths with real injected failures.
 
-* **Concurrency.**  Index read-modify-write cycles hold an ``fcntl.flock``
-  on ``<root>/lock``.  Blob reads take no lock (immutable names); a reader
+* **Concurrency.**  Index mutations go through the backend's
+  ``index_update`` — a flock-held read-modify-write on a local directory,
+  a rev-guarded compare-and-swap loop against the daemon's single-writer
+  HTTP endpoint.  Blob reads take no lock (immutable names); a reader
   racing an eviction simply misses.
 
 * **Eviction.**  The index records a last-used stamp per entry; when the
   store exceeds ``max_bytes``, least-recently-used entries are evicted
   until it fits (:meth:`ArtifactStore.gc`, also run after every write).
 
-* **Self-invalidation.**  ``schema.json`` pins the
+* **Self-invalidation.**  The store pins the
   :func:`~repro.descend.store.fingerprint.pipeline_fingerprint` of the
-  compiler that filled the store.  Opening a store written by a different
-  compiler build (or Python version, or store format) wipes it — stale
-  artifacts can never leak across compiler changes.
+  compiler that filled it.  Opening a *local* store written by a different
+  compiler build (or Python version, or store format) wipes it; attaching
+  to a mismatched *remote* store refuses loudly instead (the server owns
+  its data) — either way stale artifacts can never leak across compiler
+  changes.
 """
 
 from __future__ import annotations
 
-import contextlib
-import json
 import os
 import pickle
-import tempfile
 import time
-from pathlib import Path
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-from repro import faults
+from repro.descend.store.backend import (
+    LocalDirBackend,
+    StoreBackend,
+    backend_for,
+    is_store_url,
+)
 from repro.descend.store.fingerprint import STORE_FORMAT, pipeline_fingerprint
-
-try:  # pragma: no cover - POSIX everywhere we run; degrade gracefully elsewhere
-    import fcntl
-except ImportError:  # pragma: no cover
-    fcntl = None  # type: ignore[assignment]
 
 #: Default size bound of a store: plenty for every Figure 8 artifact while
 #: staying far below what a CI cache is willing to persist.
@@ -66,14 +60,30 @@ DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 #: Pinned pickle wire protocol (participates in the schema fingerprint).
 PICKLE_PROTOCOL = 4
 
+#: Environment override of the quarantine age-out threshold (seconds).
+ENV_QUARANTINE_S = "REPRO_STORE_QUARANTINE_S"
+
+
+def default_quarantine_age_s() -> float:
+    """The quarantine age-out threshold: env override or the tmp-stale default."""
+    raw = os.environ.get(ENV_QUARANTINE_S)
+    if raw:
+        try:
+            return max(0.0, float(raw))
+        except ValueError:
+            pass
+    return ArtifactStore.TMP_STALE_S
+
 
 class ArtifactStore:
     """A persistent, size-bounded, multi-process-safe artifact cache.
 
-    The store maps hex digests to pickled compiler artifacts.  It is a pure
-    cache: every operation degrades to a miss (``load`` → ``None``,
-    ``store`` → ``False``) instead of raising, so a broken disk, a hostile
-    blob, or a racing process can never take compilation down with it.
+    It is a pure cache: every operation degrades to a miss (``load`` →
+    ``None``, ``store`` → ``False``) instead of raising, so a broken disk,
+    a hostile blob, or a racing process can never take compilation down
+    with it.  ``root`` may be a directory path or an ``http(s)://`` URL of
+    a ``descendc serve --store-http`` endpoint (see
+    :meth:`ArtifactStore.open`).
     """
 
     def __init__(
@@ -81,10 +91,16 @@ class ArtifactStore:
         root: os.PathLike | str,
         max_bytes: int = DEFAULT_MAX_BYTES,
         schema: Optional[str] = None,
+        backend: Optional[StoreBackend] = None,
     ) -> None:
-        self.root = Path(root)
         self.max_bytes = max(0, int(max_bytes))
         self.schema = schema if schema is not None else pipeline_fingerprint()
+        self.backend = backend if backend is not None else backend_for(root, self.schema)
+        self.root = (
+            self.backend.root
+            if isinstance(self.backend, LocalDirBackend)
+            else self.backend.location
+        )
         self.hits = 0
         self.misses = 0
         self.writes = 0
@@ -93,118 +109,63 @@ class ArtifactStore:
         self.quarantined = 0
         self._pending_touches: Dict[str, float] = {}
         self._touch_flushed = False
-        self._ensure_layout()
+        self.backend.ensure_ready()
 
-    # -- layout ----------------------------------------------------------------
-    @property
-    def _objects_dir(self) -> Path:
-        return self.root / "objects"
+    @classmethod
+    def open(
+        cls,
+        location: os.PathLike | str,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        schema: Optional[str] = None,
+    ) -> "ArtifactStore":
+        """Open a store by location — a directory path or an HTTP store URL."""
+        return cls(location, max_bytes=max_bytes, schema=schema)
 
-    @property
-    def _index_path(self) -> Path:
-        return self.root / "index.json"
+    # -- layout passthrough (tests and tools reach into local-dir stores) ------
+    def _object_path(self, digest: str):
+        return self.backend._object_path(digest)  # type: ignore[union-attr]
 
-    @property
-    def _schema_path(self) -> Path:
-        return self.root / "schema.json"
+    # -- index policy ----------------------------------------------------------
+    @staticmethod
+    def _is_digest(name: str) -> bool:
+        return len(name) == 64 and all(c in "0123456789abcdef" for c in name)
 
-    @property
-    def _tmp_dir(self) -> Path:
-        # In-flight writes stage here, *outside* objects/, so gc's stray-file
-        # sweep can never delete a tmp file a concurrent writer is about to
-        # os.replace into place (same filesystem, so the rename stays atomic).
-        return self.root / "tmp"
+    def _sanitize_entries(
+        self, raw: Optional[Dict[str, object]]
+    ) -> Optional[Dict[str, Dict[str, object]]]:
+        """Field-by-field validation of a raw entry table, ``None`` if unusable.
 
-    @property
-    def _quarantine_dir(self) -> Path:
-        # Corrupt blobs are moved aside here instead of deleted: the lookup
-        # path degrades exactly once per poisoned digest (no re-reading the
-        # same broken pickle on every miss), and the evidence survives for
-        # inspection until gc ages it out.
-        return self.root / "quarantine"
-
-    def _object_path(self, digest: str) -> Path:
-        return self._objects_dir / digest[:2] / digest
-
-    def _ensure_layout(self) -> None:
-        self._objects_dir.mkdir(parents=True, exist_ok=True)
-        self._tmp_dir.mkdir(parents=True, exist_ok=True)
-        with self._locked():
-            if not self._schema_matches():
-                self._wipe_objects()
-                self._write_json(self._index_path, {"entries": {}})
-                self._write_json(
-                    self._schema_path,
-                    {"format": STORE_FORMAT, "schema": self.schema},
-                )
-
-    def _schema_matches(self) -> bool:
-        try:
-            with open(self._schema_path, "r", encoding="utf-8") as handle:
-                meta = json.load(handle)
-            return (
-                isinstance(meta, dict)
-                and meta.get("format") == STORE_FORMAT
-                and meta.get("schema") == self.schema
-            )
-        except (OSError, ValueError):
-            return False
-
-    def _wipe_objects(self) -> None:
-        for path in self._objects_dir.rglob("*"):
-            if path.is_file():
-                with contextlib.suppress(OSError):
-                    path.unlink()
-
-    # -- locking & index -------------------------------------------------------
-    @contextlib.contextmanager
-    def _locked(self) -> Iterator[None]:
-        """Hold the store's advisory lock (no-op where flock is unavailable)."""
-        if fcntl is None:  # pragma: no cover
-            yield
-            return
-        faults.maybe_raise("store.index.flock")
-        lock_path = self.root / "lock"
-        with open(lock_path, "a+b") as handle:
-            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        A JSON-valid index with wrong-typed fields (hand edits, foreign
+        tools) must degrade like any other corruption, not raise
+        ``ValueError`` out of the numeric conversions downstream (eviction
+        sorts, size sums)."""
+        if not isinstance(raw, dict):
+            return None
+        entries: Dict[str, Dict[str, object]] = {}
+        for digest, entry in raw.items():
+            if not (isinstance(digest, str) and self._is_digest(digest)):
+                continue
+            if not isinstance(entry, dict):
+                continue
             try:
-                yield
-            finally:
-                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+                entries[digest] = {
+                    "size": int(entry.get("size", 0)),
+                    "used": float(entry.get("used", 0.0)),
+                    "kind": str(entry.get("kind", "artifact")),
+                }
+            except (TypeError, ValueError):
+                entries[digest] = {"size": 0, "used": 0.0, "kind": "artifact"}
+        if not entries and raw:
+            return None
+        return entries
 
-    def _load_index(self) -> Dict[str, Dict[str, object]]:
-        """The index's entry table (pending LRU stamps applied); rebuilt
-        from ``objects/`` if unreadable.
-
-        Entries are sanitized field by field — a JSON-valid index with
-        wrong-typed fields (hand edits, foreign tools) must degrade like any
-        other corruption, not raise ``ValueError`` out of the numeric
-        conversions downstream (eviction sorts, size sums)."""
-        try:
-            with open(self._index_path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-            if not isinstance(data, dict):
-                raise ValueError("index must be an object")
-            raw = data["entries"]
-            if not isinstance(raw, dict):
-                raise ValueError("index entries must be an object")
-            entries: Dict[str, Dict[str, object]] = {}
-            for digest, entry in raw.items():
-                if not (isinstance(digest, str) and self._is_digest(digest)):
-                    continue
-                if not isinstance(entry, dict):
-                    continue
-                try:
-                    entries[digest] = {
-                        "size": int(entry.get("size", 0)),
-                        "used": float(entry.get("used", 0.0)),
-                        "kind": str(entry.get("kind", "artifact")),
-                    }
-                except (TypeError, ValueError):
-                    entries[digest] = {"size": 0, "used": 0.0, "kind": "artifact"}
-            if not entries and raw:
-                raise ValueError("no usable index entries")
-        except (OSError, ValueError, KeyError):
+    def _usable_entries(
+        self, raw: Optional[Dict[str, object]]
+    ) -> Dict[str, Dict[str, object]]:
+        """Sanitized entries (rebuilt from blobs if unusable), pending LRU
+        stamps applied."""
+        entries = self._sanitize_entries(raw)
+        if entries is None:
             entries = self._rebuild_entries()
         for digest, stamp in self._pending_touches.items():
             entry = entries.get(digest)
@@ -212,49 +173,26 @@ class ArtifactStore:
                 entry["used"] = stamp
         return entries
 
-    def _save_index(self, entries: Dict[str, Dict[str, object]]) -> None:
-        self._write_json(self._index_path, {"entries": entries})
-        self._pending_touches.clear()
-
-    @staticmethod
-    def _is_digest(name: str) -> bool:
-        return len(name) == 64 and all(c in "0123456789abcdef" for c in name)
-
     def _rebuild_entries(self) -> Dict[str, Dict[str, object]]:
-        """Recover the entry table by scanning the (authoritative) blobs.
+        """Recover the entry table from the (authoritative) blob listing.
 
-        Only digest-named files count: orphaned ``.tmp-*`` files from a
-        writer killed mid-:meth:`_atomic_write` must not be adopted as
-        entries (their digest would never resolve back to their path).
-        """
-        entries: Dict[str, Dict[str, object]] = {}
+        Only digest-named blobs count: orphaned staging files from a writer
+        killed mid-write must not be adopted as entries (their digest would
+        never resolve back to their path) — the backend's listing already
+        enforces this."""
         now = time.time()
-        for path in self._objects_dir.rglob("*"):
-            if path.is_file() and self._is_digest(path.name):
-                with contextlib.suppress(OSError):
-                    entries[path.name] = {
-                        "size": path.stat().st_size,
-                        "used": now,
-                        "kind": "artifact",
-                    }
+        entries: Dict[str, Dict[str, object]] = {}
+        try:
+            blobs = self.backend.list_blobs()
+        except OSError:
+            return entries
+        for digest, size in blobs.items():
+            entries[digest] = {"size": int(size), "used": now, "kind": "artifact"}
         return entries
 
-    def _write_json(self, path: Path, payload: Dict[str, object]) -> None:
-        self._atomic_write(path, json.dumps(payload, indent=1).encode("utf-8"))
-
-    def _atomic_write(self, path: Path, data: bytes, is_blob: bool = False) -> None:
-        self._tmp_dir.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=str(self._tmp_dir), prefix=".tmp-")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(data)
-            if is_blob:
-                faults.maybe_raise("store.blob.rename")
-            os.replace(tmp_name, path)
-        except OSError:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp_name)
-            raise
+    def _read_entries(self) -> Dict[str, Dict[str, object]]:
+        _, raw = self.backend.index_read()
+        return self._usable_entries(raw)
 
     def _evict_over_budget(
         self, entries: Dict[str, Dict[str, object]], keep: Optional[str] = None
@@ -271,30 +209,27 @@ class ArtifactStore:
                 continue
             total -= int(entries[digest].get("size", 0))
             del entries[digest]
-            with contextlib.suppress(OSError):
-                self._object_path(digest).unlink()
+            try:
+                self.backend.blob_delete(digest)
+            except OSError:  # pragma: no cover - eviction is best-effort
+                pass
             self.evictions += 1
 
     # -- public API ------------------------------------------------------------
     def load(self, digest: str) -> Optional[object]:
         """The artifact stored under ``digest``, or ``None`` on any failure."""
-        path = self._object_path(digest)
         try:
-            with open(path, "rb") as handle:
-                rule = faults.maybe_raise("store.blob.read")
-                blob = handle.read()
-        except FileNotFoundError:
-            self.misses += 1
-            return None
+            blob = self.backend.blob_get(digest)
         except OSError:
-            # The disk (or an injected fault) refused the read: a transient
-            # I/O problem, not proof the blob is poisoned — miss without
-            # quarantining so a healthy retry can still hit.
+            # The disk, the network, or an injected fault refused the read:
+            # a transient I/O problem, not proof the blob is poisoned — miss
+            # without quarantining so a healthy retry can still hit.
             self.errors += 1
             self.misses += 1
             return None
-        if rule is not None and rule.kind == "torn":
-            blob = blob[: len(blob) // 2]
+        if blob is None:
+            self.misses += 1
+            return None
         try:
             artifact = pickle.loads(blob)
         except Exception:
@@ -317,24 +252,21 @@ class ArtifactStore:
             blob = pickle.dumps(artifact, protocol=PICKLE_PROTOCOL)
         except Exception:
             return False  # unpicklable artifacts simply stay in-memory-only
+        stamp = time.time()
+
+        def add_entry(raw: Optional[Dict[str, object]]) -> Dict[str, Dict[str, object]]:
+            entries = self._usable_entries(raw)
+            entries[digest] = {"size": len(blob), "used": stamp, "kind": kind}
+            self._evict_over_budget(entries, keep=digest)
+            return entries
+
         try:
-            rule = faults.maybe_raise("store.blob.write")
-            if rule is not None and rule.kind == "torn":
-                # A torn write: the rename lands, but the bytes are cut
-                # short — the on-disk image a crash between write and fsync
-                # leaves behind.  The next load quarantines it.
-                blob = blob[: len(blob) // 2]
-            path = self._object_path(digest)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            self._atomic_write(path, blob, is_blob=True)
-            with self._locked():
-                entries = self._load_index()
-                entries[digest] = {"size": len(blob), "used": time.time(), "kind": kind}
-                self._evict_over_budget(entries, keep=digest)
-                self._save_index(entries)
+            self.backend.blob_put(digest, blob)
+            self.backend.index_update(add_entry)
         except OSError:
             self.errors += 1
             return False
+        self._pending_touches.clear()
         self.writes += 1
         return True
 
@@ -347,10 +279,10 @@ class ArtifactStore:
         """Refresh the LRU stamp of a hit.
 
         Stamps are batched in memory and merged into the index by every
-        index write (:meth:`_load_index` applies them, :meth:`_save_index`
-        clears them), so a warm process does one index rewrite on its first
-        hit — which also heals a corrupted index — and then one per
-        :data:`TOUCH_FLUSH_PENDING` loads, instead of one per load.
+        index write (:meth:`_usable_entries` applies them, a successful
+        update clears them), so a warm process does one index rewrite on
+        its first hit — which also heals a corrupted index — and then one
+        per :data:`TOUCH_FLUSH_PENDING` loads, instead of one per load.
         """
         self._pending_touches[digest] = time.time()
         if not self._touch_flushed or len(self._pending_touches) >= self.TOUCH_FLUSH_PENDING:
@@ -358,16 +290,19 @@ class ArtifactStore:
 
     def _flush_touches(self) -> None:
         try:
-            with self._locked():
-                self._save_index(self._load_index())
-            self._touch_flushed = True
-        except OSError:  # pragma: no cover - stamp refresh is best-effort
+            self.backend.index_update(self._usable_entries)
+        except OSError:
             self.errors += 1
+            return
+        self._pending_touches.clear()
+        self._touch_flushed = True
 
     def _forget(self, digest: str) -> None:
         """Drop one (broken) entry and its blob (best-effort)."""
-        with contextlib.suppress(OSError):
-            self._object_path(digest).unlink()
+        try:
+            self.backend.blob_delete(digest)
+        except OSError:
+            pass
         self._drop_entry(digest)
 
     def _quarantine(self, digest: str) -> None:
@@ -376,67 +311,55 @@ class ArtifactStore:
         Move-aside instead of delete: the digest becomes a plain miss (the
         degradation happens once, not on every lookup), the next write of
         the same digest heals it, and the corrupt bytes stay inspectable
-        under ``quarantine/`` until :meth:`gc` ages them out.
+        under the backend's quarantine until :meth:`gc` ages them out.
         """
         self.quarantined += 1
-        source = self._object_path(digest)
         try:
-            self._quarantine_dir.mkdir(parents=True, exist_ok=True)
-            os.replace(source, self._quarantine_dir / digest)
+            self.backend.blob_quarantine(digest)
         except OSError:
-            # Can't move it aside (readonly dir, cross-device, gone already):
-            # fall back to deleting so the poison at least can't re-degrade.
-            with contextlib.suppress(OSError):
-                source.unlink()
+            pass
         self._drop_entry(digest)
 
     def _drop_entry(self, digest: str) -> None:
+        def remove(raw: Optional[Dict[str, object]]) -> Dict[str, Dict[str, object]]:
+            entries = self._usable_entries(raw)
+            entries.pop(digest, None)
+            return entries
+
         try:
-            with self._locked():
-                entries = self._load_index()
-                if entries.pop(digest, None) is not None:
-                    self._save_index(entries)
+            self.backend.index_update(remove)
         except OSError:  # pragma: no cover
             self.errors += 1
+            return
+        self._pending_touches.clear()
 
     def quarantine_entries(self) -> int:
-        """How many poisoned blobs are currently parked under ``quarantine/``."""
-        try:
-            return sum(1 for path in self._quarantine_dir.glob("*") if path.is_file())
-        except OSError:  # pragma: no cover
-            return 0
+        """How many poisoned blobs are currently parked in quarantine."""
+        return self.backend.quarantine_count()
 
-    def gc(self, max_bytes: Optional[int] = None) -> Dict[str, object]:
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        quarantine_age_s: Optional[float] = None,
+    ) -> Dict[str, object]:
         """Reconcile the index with the blobs and enforce the size budget.
 
-        Orphaned blobs (present on disk, absent from the index) are adopted,
-        dangling entries (indexed, blob gone) dropped, stray files (foreign
-        junk under ``objects/``, stale staging files from killed writers)
-        deleted, then LRU eviction brings the store under ``max_bytes``
-        (default: the store's budget).
+        Orphaned blobs (present in the backend, absent from the index) are
+        adopted, dangling entries (indexed, blob gone) dropped, stray files
+        (foreign junk, stale staging files from killed writers) deleted,
+        quarantined blobs older than ``quarantine_age_s`` (default:
+        :data:`ENV_QUARANTINE_S` or :data:`TMP_STALE_S`) removed, then LRU
+        eviction brings the store under ``max_bytes`` (default: the store's
+        budget).
         """
         if max_bytes is not None:
             self.max_bytes = max(0, int(max_bytes))
-        with self._locked():
-            for path in self._objects_dir.rglob("*"):
-                if path.is_file() and not self._is_digest(path.name):
-                    with contextlib.suppress(OSError):
-                        path.unlink()
-            # Staging files are only swept once stale: a live writer's tmp
-            # file (pre-os.replace) must survive a concurrent gc.
-            stale_before = time.time() - self.TMP_STALE_S
-            for path in self._tmp_dir.glob("*"):
-                with contextlib.suppress(OSError):
-                    if path.is_file() and path.stat().st_mtime < stale_before:
-                        path.unlink()
-            # Quarantined blobs age out on the same schedule: kept long
-            # enough to debug a corruption burst, never accumulated forever.
-            if self._quarantine_dir.is_dir():
-                for path in self._quarantine_dir.glob("*"):
-                    with contextlib.suppress(OSError):
-                        if path.is_file() and path.stat().st_mtime < stale_before:
-                            path.unlink()
-            entries = self._load_index()
+        if quarantine_age_s is None:
+            quarantine_age_s = default_quarantine_age_s()
+        self.backend.maintain(self.TMP_STALE_S, max(0.0, float(quarantine_age_s)))
+
+        def reconcile(raw: Optional[Dict[str, object]]) -> Dict[str, Dict[str, object]]:
+            entries = self._usable_entries(raw)
             on_disk = self._rebuild_entries()
             for digest in list(entries):
                 if digest not in on_disk:
@@ -447,14 +370,17 @@ class ArtifactStore:
                 else:
                     entries[digest]["size"] = entry["size"]
             self._evict_over_budget(entries)
-            self._save_index(entries)
-            return self._summary(entries)
+            return entries
+
+        entries = self.backend.index_update(reconcile)
+        self._pending_touches.clear()
+        return self._summary(entries)
 
     def clear(self) -> None:
         """Delete every artifact (the layout and schema stay in place)."""
-        with self._locked():
-            self._wipe_objects()
-            self._save_index({})
+        self.backend.wipe()
+        self.backend.index_update(lambda raw: {})
+        self._pending_touches.clear()
 
     def digests(self, kind: Optional[str] = None) -> Tuple[str, ...]:
         """The digests currently indexed, optionally filtered by artifact kind.
@@ -463,8 +389,7 @@ class ArtifactStore:
         other read, failures degrade to "nothing found" rather than raising.
         """
         try:
-            with self._locked():
-                entries = self._load_index()
+            entries = self._read_entries()
         except OSError:
             self.errors += 1
             return ()
@@ -479,8 +404,7 @@ class ArtifactStore:
         )
 
     def stats(self) -> Dict[str, object]:
-        with self._locked():
-            entries = self._load_index()
+        entries = self._read_entries()
         summary = self._summary(entries)
         summary.update(
             hits=self.hits,
@@ -502,6 +426,7 @@ class ArtifactStore:
             bucket["bytes"] += int(entry.get("size", 0))
         return {
             "root": str(self.root),
+            "backend": self.backend.kind,
             "format": STORE_FORMAT,
             "schema": self.schema[:16],
             "entries": len(entries),
@@ -509,3 +434,13 @@ class ArtifactStore:
             "max_bytes": self.max_bytes,
             "kinds": kinds,
         }
+
+
+__all__ = [
+    "ArtifactStore",
+    "DEFAULT_MAX_BYTES",
+    "PICKLE_PROTOCOL",
+    "ENV_QUARANTINE_S",
+    "default_quarantine_age_s",
+    "is_store_url",
+]

@@ -59,11 +59,14 @@ SITES = frozenset(
         "store.blob.write",
         "store.blob.rename",
         "store.index.flock",
+        "store.http.get",
+        "store.http.put",
         "serve.conn.read",
         "serve.conn.write",
         "serve.exec.submit",
         "sweep.spawn",
         "sweep.cell",
+        "sweep.dispatch",
     }
 )
 

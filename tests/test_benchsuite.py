@@ -1,5 +1,6 @@
 """Tests for the benchmark harness (Figure 8 and the ablations)."""
 
+import contextlib
 import json
 import math
 
@@ -248,6 +249,23 @@ class TestBudgetGuard:
         assert default_budget_s() == DEFAULT_REF_BUDGET_S
 
 
+@contextlib.contextmanager
+def _store_location(tmp_path, backend):
+    """A store path (local dir) or URL (in-process HTTP endpoint) to sweep against."""
+    path = str(tmp_path / "store")
+    if backend == "local":
+        yield path
+        return
+    from repro.descend.api import LocalBackend
+    from repro.descend.serve import ServeConfig, ServerThread
+
+    config = ServeConfig(
+        str(tmp_path / "serve.sock"), store_path=path, store_http_port=0
+    )
+    with ServerThread(LocalBackend(label="bench-http"), config) as thread:
+        yield thread.store_url
+
+
 class TestSweepOrchestrator:
     def test_parallel_rows_match_serial_modulo_timing(self, tmp_path):
         """The --jobs sweep must reproduce the serial report byte-for-byte
@@ -261,7 +279,7 @@ class TestSweepOrchestrator:
         def stable(row):
             drop = (
                 "reference_wall_s", "vectorized_wall_s", "jit_wall_s",
-                "speedup", "jit_speedup",
+                "speedup", "jit_speedup", "host",
             )
             return {k: v for k, v in row.as_dict().items() if k not in drop}
 
@@ -299,29 +317,37 @@ class TestSweepOrchestrator:
         assert ArtifactStore(tmp_path / "b").stats()["entries"] > 0
         assert store_a.stats()["entries"] == 0
 
-    def test_warm_store_workers_deserialize_plans_without_relowering(self, tmp_path):
+    @pytest.mark.parametrize("backend", ["local", "http"])
+    def test_warm_store_workers_deserialize_plans_without_relowering(
+        self, tmp_path, backend
+    ):
         """Cross-process plan reuse: a `--jobs 2 --store` sweep against a
         warm store must run ZERO `lower.plan` compute passes in its workers —
         plans come out of the store as data, with no rehydration re-lowering
-        (the serializable-plan-IR acceptance criterion)."""
-        kwargs = dict(
-            benchmarks=("transpose",), rows=(("small", 1),), repeats=1,
-            jobs=2, store_path=str(tmp_path / "store"),
-        )
-        cold = run_descend_engine_bench(**kwargs)
-        cold_plan = cold.compile_passes.get("lower.plan", {})
-        assert cold_plan.get("compute", 0) > 0  # the first sweep lowered
+        (the serializable-plan-IR acceptance criterion).  A store *URL*
+        routes the same sweep through the TCP dispatcher and the daemon's
+        HTTP store endpoint; the property must hold fleet-wide."""
+        with _store_location(tmp_path, backend) as store_path:
+            kwargs = dict(
+                benchmarks=("transpose",), rows=(("small", 1),), repeats=1,
+                jobs=2, store_path=store_path,
+            )
+            cold = run_descend_engine_bench(**kwargs)
+            cold_plan = cold.compile_passes.get("lower.plan", {})
+            assert cold_plan.get("compute", 0) > 0  # the first sweep lowered
 
-        warm = run_descend_engine_bench(**kwargs)
-        warm_plan = warm.compile_passes.get("lower.plan", {})
-        assert warm_plan.get("compute", 0) == 0
-        assert warm_plan.get("store", 0) >= 1  # served straight from the store
-        # The optimization pipeline only runs on cold lowerings.
-        assert "lower.plan.opt" not in warm.compile_passes
-        assert warm.rows[0].cycles_match
-        # The pass summary also lands in the JSON report for CI to grep.
-        payload = warm.as_dict()
-        assert payload["compile_passes"]["lower.plan"].get("compute", 0) == 0
+            warm = run_descend_engine_bench(**kwargs)
+            warm_plan = warm.compile_passes.get("lower.plan", {})
+            assert warm_plan.get("compute", 0) == 0
+            assert warm_plan.get("store", 0) >= 1  # served straight from the store
+            # The optimization pipeline only runs on cold lowerings.
+            assert "lower.plan.opt" not in warm.compile_passes
+            assert warm.rows[0].cycles_match
+            # Every measured row names the worker that ran it.
+            assert all(row.host for row in warm.rows)
+            # The pass summary also lands in the JSON report for CI to grep.
+            payload = warm.as_dict()
+            assert payload["compile_passes"]["lower.plan"].get("compute", 0) == 0
 
     def test_serial_sweep_records_compile_passes(self, tmp_path):
         from repro.descend.driver import session_scope
@@ -353,4 +379,153 @@ class TestSweepOrchestrator:
             "scale": 2,
             "repeats": 3,
             "budget_s": 1.5,
+            "device_s_per_cycle": None,
         }
+
+
+class TestSweepDispatch:
+    """The TCP dispatcher: protocol, work stealing, requeue, row merging."""
+
+    CELL = {
+        "index": 0, "variant": "descend", "benchmark": "reduce",
+        "size": "small", "scale": 1, "repeats": 1, "budget_s": None,
+    }
+    ROW = {
+        "benchmark": "reduce", "size": "small", "variant": "descend", "scale": 1,
+        "reference_cycles": 10.0, "vectorized_cycles": 10.0,
+        "reference_wall_s": 0.5, "vectorized_wall_s": 0.1,
+        "jit_cycles": 10.0, "jit_wall_s": 0.05,
+        "footprint_bytes": 1024, "skipped": None, "retries": 0,
+        "host": "fake-worker:1",
+    }
+
+    @staticmethod
+    def _connect(coordinator, host="fake-worker:1"):
+        import socket
+
+        from repro.descend.api import encode_frame
+
+        conn = socket.create_connection(coordinator.address, timeout=5.0)
+        reader = conn.makefile("rb")
+        conn.sendall(encode_frame({"op": "hello", "host": host}))
+        assert json.loads(reader.readline()) == {"op": "welcome"}
+        return conn, reader
+
+    def test_row_round_trips_through_wire_format(self):
+        row = EngineBenchRow.from_dict(self.ROW)
+        assert row.as_dict()["cycles_match"] is True
+        assert EngineBenchRow.from_dict(row.as_dict()).as_dict() == row.as_dict()
+
+    def test_coordinator_feeds_a_pulling_worker(self):
+        from repro.benchsuite.dispatch import SweepCoordinator
+        from repro.descend.api import encode_frame
+
+        passes = {}
+        with SweepCoordinator([dict(self.CELL)], pass_totals=passes) as coordinator:
+            conn, reader = self._connect(coordinator)
+            with conn:
+                conn.sendall(encode_frame({"op": "next"}))
+                reply = json.loads(reader.readline())
+                assert reply["op"] == "cell"
+                assert reply["cell"]["benchmark"] == "reduce"
+                assert reply["epoch"] == 0  # first attempt
+                conn.sendall(encode_frame({
+                    "op": "result", "index": 0, "row": dict(self.ROW),
+                    "error": None, "passes": {"lower.plan": {"store": 1}},
+                    "host": "fake-worker:1",
+                }))
+                conn.sendall(encode_frame({"op": "next"}))
+                assert json.loads(reader.readline()) == {"op": "done"}
+            assert coordinator.wait(5.0)
+            rows = coordinator.result()
+        assert [row.host for row in rows] == ["fake-worker:1"]
+        assert passes == {"lower.plan": {"store": 1}}
+
+    def test_connection_lost_mid_cell_requeues_with_advanced_epoch(self):
+        from repro.benchsuite.dispatch import SweepCoordinator
+        from repro.descend.api import encode_frame
+
+        with SweepCoordinator([dict(self.CELL)], max_attempts=3) as coordinator:
+            conn, reader = self._connect(coordinator, host="dying-worker:1")
+            conn.sendall(encode_frame({"op": "next"}))
+            assert json.loads(reader.readline())["op"] == "cell"
+            # Dies holding the cell: the attempt is charged.  (makefile()
+            # holds a dup of the socket — both must go for the EOF to land.)
+            reader.close()
+            conn.close()
+
+            conn, reader = self._connect(coordinator, host="healthy-worker:2")
+            with conn:
+                deadline = 50
+                while True:
+                    conn.sendall(encode_frame({"op": "next"}))
+                    reply = json.loads(reader.readline())
+                    if reply["op"] == "cell":
+                        break
+                    assert reply["op"] == "wait" and deadline > 0
+                    deadline -= 1
+                    import time as _time
+                    _time.sleep(0.05)
+                assert reply["epoch"] == 1  # the requeue advanced the fault epoch
+                conn.sendall(encode_frame({
+                    "op": "result", "index": 0, "row": dict(self.ROW),
+                    "error": None, "passes": {}, "host": "healthy-worker:2",
+                }))
+            assert coordinator.wait(5.0)
+            rows = coordinator.result()
+        assert rows[0].retries == 1  # the lost attempt is visible in the report
+
+    def test_exhausted_attempts_abort_loudly(self):
+        from repro.benchsuite.dispatch import SweepCoordinator
+        from repro.descend.api import encode_frame
+
+        with SweepCoordinator([dict(self.CELL)], max_attempts=1) as coordinator:
+            conn, reader = self._connect(coordinator)
+            conn.sendall(encode_frame({"op": "next"}))
+            assert json.loads(reader.readline())["op"] == "cell"
+            reader.close()
+            conn.close()
+            assert coordinator.wait(5.0)
+            with pytest.raises(BenchmarkError, match="reduce/small"):
+                coordinator.result()
+
+    def test_worker_reported_error_counts_as_an_attempt(self):
+        from repro.benchsuite.dispatch import SweepCoordinator
+        from repro.descend.api import encode_frame
+
+        with SweepCoordinator([dict(self.CELL)], max_attempts=1) as coordinator:
+            conn, reader = self._connect(coordinator)
+            with conn:
+                conn.sendall(encode_frame({"op": "next"}))
+                assert json.loads(reader.readline())["op"] == "cell"
+                conn.sendall(encode_frame({
+                    "op": "result", "index": 0, "row": None,
+                    "error": "boom", "passes": {}, "host": "fake-worker:1",
+                }))
+                assert coordinator.wait(5.0)
+            with pytest.raises(BenchmarkError, match="boom"):
+                coordinator.result()
+
+
+class TestSweepScalingBench:
+    def test_speedup_is_warm_wall_ratio(self):
+        from repro.benchsuite.sweepbench import SweepBenchResult, SweepPhaseRow
+
+        result = SweepBenchResult(rows=[
+            SweepPhaseRow("cold", 1, 12, 30.0, 1, {"lower.plan": {"compute": 6}}),
+            SweepPhaseRow("warm x1", 1, 12, 20.0, 1, {}),
+            SweepPhaseRow("warm x2", 2, 12, 11.0, 2, {}),
+            SweepPhaseRow("warm x4", 4, 12, 8.0, 4, {}),
+        ])
+        assert result.speedup_4w == pytest.approx(2.5)
+        payload = result.as_dict()
+        assert payload["kind"] == "sweep-scaling-bench"
+        assert payload["warm_compute_passes"] == 0
+        assert payload["phases"][0]["compute_passes"] == 6
+        assert "2.50x" in result.to_table()
+
+    def test_speedup_absent_without_both_rungs(self):
+        from repro.benchsuite.sweepbench import SweepBenchResult, SweepPhaseRow
+
+        result = SweepBenchResult(rows=[SweepPhaseRow("warm x1", 1, 6, 10.0, 1, {})])
+        assert result.speedup_4w is None

@@ -358,3 +358,100 @@ class TestSweepChaos:
         assert default_max_attempts() == 5
         monkeypatch.setenv("REPRO_SWEEP_ATTEMPTS", "zero")
         assert default_max_attempts() == DEFAULT_MAX_ATTEMPTS
+
+
+class TestHttpStoreChaos:
+    """Chaos at the HTTP store seams: the client's retry/degradation
+    machinery must make remote faults look like local ones (healed drops,
+    quarantined torn payloads, store()->False on persistent failure)."""
+
+    @pytest.fixture
+    def http_store(self, tmp_path):
+        config = ServeConfig(
+            str(tmp_path / "serve.sock"),
+            store_path=str(tmp_path / "store"),
+            store_http_port=0,
+        )
+        with ServerThread(LocalBackend(label="http-chaos"), config) as thread:
+            yield ArtifactStore(thread.store_url)
+
+    def test_dropped_http_response_is_healed_by_retry(self, http_store, monkeypatch):
+        digest = "ab" * 32
+        assert http_store.store(digest, {"payload": "remote"})
+        monkeypatch.setenv(faults.ENV_SPEC, "store.http.get:kind=drop,nth=1")
+        assert http_store.load(digest) == {"payload": "remote"}  # retried
+        assert http_store.errors == 0  # the drop never surfaced
+        assert faults.report()["fired"] == {"store.http.get:drop": 1}
+
+    def test_torn_http_payload_quarantines_then_heals(self, http_store, monkeypatch):
+        digest = "cd" * 32
+        assert http_store.store(digest, {"payload": list(range(64))})
+        monkeypatch.setenv(faults.ENV_SPEC, "store.http.get:kind=torn,nth=1")
+        assert http_store.load(digest) is None  # truncated pickle: a miss
+        assert http_store.quarantined == 1  # moved aside server-side
+        # Heal-on-next-write, over the wire like everything else.
+        assert http_store.store(digest, {"payload": "healed"})
+        assert http_store.load(digest) == {"payload": "healed"}
+
+    def test_persistent_http_failure_degrades_store_to_false(
+        self, http_store, monkeypatch
+    ):
+        monkeypatch.setenv(faults.ENV_SPEC, "store.http.put:kind=drop")  # every attempt
+        assert http_store.store("ef" * 32, "x") is False  # degraded, not raised
+        assert http_store.errors >= 1
+        monkeypatch.delenv(faults.ENV_SPEC)
+        assert http_store.store("ef" * 32, "x") is True  # healthy again
+        assert http_store.load("ef" * 32) == "x"
+
+    def test_transient_http_read_error_misses_without_quarantine(
+        self, http_store, monkeypatch
+    ):
+        digest = "01" * 32
+        assert http_store.store(digest, "fine")
+        monkeypatch.setenv(faults.ENV_SPEC, "store.http.get:kind=oserror")
+        assert http_store.load(digest) is None  # every attempt refused: miss
+        assert http_store.quarantined == 0
+        monkeypatch.delenv(faults.ENV_SPEC)
+        assert http_store.load(digest) == "fine"  # healthy retry still hits
+
+
+class TestDispatchChaos:
+    """Chaos at the dispatcher's seams: dropped assignments and killed
+    workers are charged to the cell's retry budget and healed by requeue."""
+
+    def _cells(self):
+        from repro.benchsuite.sweep import make_cells
+
+        return make_cells("descend", [("transpose", "small", 1)], 1, 0.0)
+
+    def test_dropped_assignment_is_requeued(self, monkeypatch):
+        from repro.benchsuite.dispatch import dispatch_cells
+
+        # The coordinator's sweep.dispatch seam fires once: the assignment
+        # is dropped with the connection, the worker dies on EOF, and the
+        # requeued cell lands on the respawned worker.
+        monkeypatch.setenv(faults.ENV_SPEC, "sweep.dispatch:kind=exc,nth=1")
+        rows = dispatch_cells(self._cells(), jobs=1)
+        assert len(rows) == 1
+        assert rows[0].benchmark == "transpose"
+        assert rows[0].retries == 1
+
+    def test_killed_worker_is_respawned_and_healed(self, monkeypatch):
+        from repro.benchsuite.dispatch import dispatch_cells
+
+        # kind=crash hard-kills the worker process mid-cell (os._exit); the
+        # epoch=0 scope means the respawned worker's round-1 attempt — which
+        # carries the advanced fault epoch — runs clean.
+        monkeypatch.setenv(faults.ENV_SPEC, "sweep.cell:kind=crash,epoch=0")
+        rows = dispatch_cells(self._cells(), jobs=1)
+        assert len(rows) == 1
+        assert rows[0].retries == 1
+        assert rows[0].host  # the surviving worker stamped the row
+
+    def test_persistent_cell_failure_aborts_loud(self, monkeypatch):
+        from repro.benchsuite.dispatch import dispatch_cells
+        from repro.errors import BenchmarkError
+
+        monkeypatch.setenv(faults.ENV_SPEC, "sweep.cell:kind=exc")  # every round
+        with pytest.raises(BenchmarkError, match="transpose/small"):
+            dispatch_cells(self._cells(), jobs=1, max_attempts=2)

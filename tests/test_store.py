@@ -10,6 +10,7 @@ Covers the tentpole guarantees of `repro.descend.store`:
 * LRU size-bounded eviction and the `descendc cache` management commands.
 """
 
+import contextlib
 import json
 import os
 import pickle
@@ -743,3 +744,217 @@ class TestFuzzReproKind:
         store.gc(max_bytes=0)
         assert load_repros(store) == []  # fuzz-repros evict like any artifact
         assert store.digests(kind="fuzz-repro") == ()
+
+
+@contextlib.contextmanager
+def _http_store(tmp_path, label="store-http"):
+    """A live `descendc serve --store-http` endpoint; yields its URL."""
+    from repro.descend.api import LocalBackend
+    from repro.descend.serve import ServeConfig, ServerThread
+
+    config = ServeConfig(
+        str(tmp_path / "serve.sock"),
+        store_path=str(tmp_path / "remote-store"),
+        store_http_port=0,
+    )
+    with ServerThread(LocalBackend(label=label), config) as thread:
+        yield thread.store_url
+
+
+class TestStoreBackends:
+    """The pluggable backend seam: rev-guarded index swaps on both sides."""
+
+    def test_location_dispatch(self, tmp_path):
+        from repro.descend.store.backend import (
+            HttpBackend,
+            LocalDirBackend,
+            backend_for,
+            is_store_url,
+        )
+
+        assert not is_store_url(tmp_path / "store")
+        assert is_store_url("http://127.0.0.1:8080")
+        assert is_store_url("https://cache.example/v1")
+        assert isinstance(backend_for(tmp_path / "store", schema="s"), LocalDirBackend)
+        assert isinstance(backend_for("http://127.0.0.1:1", schema="s"), HttpBackend)
+        with pytest.raises(OSError, match="not a store URL"):
+            HttpBackend("http://", schema="s")
+
+    def test_local_dir_index_swap_is_rev_guarded(self, tmp_path):
+        from repro.descend.store.backend import backend_for
+
+        backend = backend_for(tmp_path / "store", schema="s1")
+        backend.ensure_ready()
+        rev, entries = backend.index_read()
+        assert not entries  # fresh store: no entry table yet
+        table = {"aa" * 32: {"size": 1, "kind": "plan", "used": 0.0}}
+        assert backend.index_swap(rev, table)
+        new_rev, read_back = backend.index_read()
+        assert new_rev == rev + 1
+        assert read_back == table
+        # A stale rev loses the swap instead of clobbering the winner.
+        assert not backend.index_swap(rev, {})
+        _, still = backend.index_read()
+        assert still == table
+
+    def test_http_index_swap_conflicts_like_local(self, tmp_path):
+        from repro.descend.store.backend import backend_for
+
+        with _http_store(tmp_path) as url:
+            backend = backend_for(url, schema=pipeline_fingerprint())
+            backend.ensure_ready()
+            rev, _ = backend.index_read()
+            table = {"bb" * 32: {"size": 2, "kind": "plan", "used": 0.0}}
+            assert backend.index_swap(rev, table)
+            assert not backend.index_swap(rev, {})  # 409 from the endpoint
+            new_rev, entries = backend.index_read()
+            assert new_rev == rev + 1
+            assert entries == table
+
+
+class TestHttpStore:
+    """`ArtifactStore` over the daemon's HTTP endpoint behaves like local."""
+
+    def test_round_trip_and_stats(self, tmp_path):
+        with _http_store(tmp_path) as url:
+            store = ArtifactStore(url)
+            assert store.store("aa" * 32, {"x": 1}, kind="plan")
+            assert store.load("aa" * 32) == {"x": 1}
+            assert store.digests(kind="plan") == ("aa" * 32,)
+            stats = store.stats()
+            assert stats["backend"] == "http"
+            assert stats["root"] == url
+            assert stats["entries"] == 1
+            assert stats["kinds"]["plan"]["count"] == 1
+
+            # A second client (a second process, in effect) sees the blobs.
+            assert ArtifactStore(url).load("aa" * 32) == {"x": 1}
+
+    def test_warm_compile_through_the_http_backend(self, tmp_path):
+        with _http_store(tmp_path) as url:
+            _compile_everything(_warm_session(url))
+            warm = _warm_session(url)
+            _compile_everything(warm)
+            assert warm.misses == 0
+            assert all(t.tier == "store" for t in warm.timings)
+
+    def test_schema_mismatch_refuses_without_wiping_remote(self, tmp_path):
+        with _http_store(tmp_path) as url:
+            assert ArtifactStore(url).store("aa" * 32, {"x": 1})
+            with pytest.raises(OSError, match="different compiler build"):
+                ArtifactStore(url, schema="some-other-build")
+            # The refused attach left the server's data untouched.
+            assert ArtifactStore(url).load("aa" * 32) == {"x": 1}
+
+    def test_unreachable_endpoint_is_a_clean_cli_error(self, capsys):
+        # Port 1 is never a store; attach must fail loud, not hang or crash.
+        assert cli_main(["cache", "stats", "--store", "http://127.0.0.1:1"]) == 2
+        assert "cannot open artifact store" in capsys.readouterr().err
+
+
+class TestQuarantineAge:
+    def test_env_override_of_the_default_age(self, monkeypatch):
+        from repro.descend.store import ENV_QUARANTINE_S, default_quarantine_age_s
+
+        monkeypatch.delenv(ENV_QUARANTINE_S, raising=False)
+        assert default_quarantine_age_s() == ArtifactStore.TMP_STALE_S
+        monkeypatch.setenv(ENV_QUARANTINE_S, "120.5")
+        assert default_quarantine_age_s() == 120.5
+        monkeypatch.setenv(ENV_QUARANTINE_S, "-5")
+        assert default_quarantine_age_s() == 0.0  # clamped, not nonsense
+        monkeypatch.setenv(ENV_QUARANTINE_S, "not-a-number")
+        assert default_quarantine_age_s() == ArtifactStore.TMP_STALE_S
+
+    def test_cache_gc_quarantine_age_flag(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        store = ArtifactStore(root)
+        digest = "aa" * 32
+        store.store(digest, {"x": 1})
+        (root / "objects" / "aa" / digest).write_bytes(b"garbage not a pickle")
+        assert store.load(digest) is None  # poisoned: moved aside
+        quarantined = root / "quarantine" / digest
+        os.utime(quarantined, (0, 0))  # long dead
+
+        store_arg = ["--store", str(root)]
+        # A generous threshold keeps the evidence around for debugging...
+        assert cli_main(
+            ["cache", "gc", "--json", "--quarantine-age", "1e12", *store_arg]
+        ) == 0
+        capsys.readouterr()
+        assert quarantined.exists()
+        # ...a tight one ages it out.
+        assert cli_main(
+            ["cache", "gc", "--json", "--quarantine-age", "60", *store_arg]
+        ) == 0
+        capsys.readouterr()
+        assert not quarantined.exists()
+
+    def test_gc_env_var_sets_the_threshold(self, tmp_path, monkeypatch):
+        from repro.descend.store import ENV_QUARANTINE_S
+
+        root = tmp_path / "store"
+        store = ArtifactStore(root)
+        digest = "bb" * 32
+        store.store(digest, {"x": 1})
+        (root / "objects" / "bb" / digest).write_bytes(b"also garbage")
+        assert store.load(digest) is None
+        os.utime(root / "quarantine" / digest, (0, 0))
+
+        monkeypatch.setenv(ENV_QUARANTINE_S, "1e12")
+        store.gc()
+        assert store.quarantine_entries() == 1  # env says: keep
+        monkeypatch.setenv(ENV_QUARANTINE_S, "60")
+        store.gc()
+        assert store.quarantine_entries() == 0  # env says: aged out
+
+
+class TestCacheCliJsonShape:
+    """`descendc cache stats --json` is a stable machine interface (CI uses
+    it to assert warm-store behaviour), on both backends."""
+
+    EXPECTED_KEYS = {
+        "root",
+        "backend",
+        "format",
+        "schema",
+        "entries",
+        "total_bytes",
+        "max_bytes",
+        "kinds",
+        "hits",
+        "misses",
+        "writes",
+        "evictions",
+        "errors",
+        "quarantined",
+        "quarantine_entries",
+    }
+
+    def test_local_store_shape(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        ArtifactStore(root).store("aa" * 32, {"x": 1}, kind="plan")
+        assert cli_main(["cache", "stats", "--json", "--store", str(root)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert self.EXPECTED_KEYS <= set(stats)
+        assert stats["backend"] == "local-dir"
+        assert stats["format"] == STORE_FORMAT
+        assert stats["entries"] == 1
+        assert stats["total_bytes"] > 0
+        assert stats["kinds"] == {"plan": {"count": 1, "bytes": stats["total_bytes"]}}
+
+    def test_url_store_shape_matches_local(self, tmp_path, capsys):
+        with _http_store(tmp_path) as url:
+            ArtifactStore(url).store("bb" * 32, {"y": 2}, kind="plan")
+            assert cli_main(["cache", "stats", "--json", "--store", url]) == 0
+            stats = json.loads(capsys.readouterr().out)
+            assert self.EXPECTED_KEYS <= set(stats)
+            assert stats["backend"] == "http"
+            assert stats["root"] == url
+            assert stats["entries"] == 1
+
+            # gc works over the wire too, with the same JSON contract.
+            assert cli_main(
+                ["cache", "gc", "--json", "--quarantine-age", "60", "--store", url]
+            ) == 0
+            summary = json.loads(capsys.readouterr().out)
+            assert summary["entries"] == 1
